@@ -1,0 +1,122 @@
+"""Design-choice ablations called out in DESIGN.md (beyond the paper).
+
+Three knobs the paper fixes are swept here:
+
+1. **ADC precision** — the paper uses P_ADC = 8 everywhere; energy and
+   transfer scale with precision, so a deployment might trade bits for
+   savings.
+2. **ROI overlap policy** — Table 1 sums ΣWᵢHᵢ (overlapping pixels
+   converted twice), while the encoder could dedup to the *union*; crowded
+   scenes make the difference material.
+3. **Grayscale stage 1** — the optional 3x compression circuit: how much
+   of the total HiRISE cost does it actually remove once stage 2
+   dominates?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table
+from repro.core import ROI, EnergyModel, hirise_costs, total_area, union_area
+from repro.datasets import crowdhuman_like
+
+ARRAY = (2560, 1920)
+
+
+def crowded_rois(scale: float = 4.0) -> list[ROI]:
+    scene = crowdhuman_like(1, resolution=(640, 480), seed=5)[0]
+    rois = []
+    for b in scene.boxes_for("person"):
+        clipped = ROI(int(b.x), int(b.y), max(int(b.w), 1), max(int(b.h), 1)).clip(
+            640, 480
+        )
+        if clipped:
+            rois.append(clipped.scaled(scale))
+    return rois
+
+
+def test_ablation_adc_precision(benchmark, emit):
+    """P_ADC sweep: transfer and energy scale linearly with bits."""
+
+    def sweep():
+        rois = [(112, 112)] * 16
+        return {
+            bits: hirise_costs(*ARRAY, 8, rois, p_adc=bits, grayscale=False)
+            for bits in (4, 6, 8, 10, 12)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "ablation: ADC precision (2560x1920, k=8, 16x112^2 ROIs)",
+        ["P_ADC", "HiRISE transfer kB", "reduction vs 8-bit baseline"],
+    )
+    base8 = results[8]
+    for bits, cb in results.items():
+        table.add_row(
+            bits, cb.hirise_transfer_bits / 8 / 1000,
+            f"{base8.conventional.data_transfer_bits / cb.hirise_transfer_bits:.1f}x",
+        )
+    emit("\n" + table.render())
+
+    transfers = [results[b].hirise_transfer_bits for b in (4, 6, 8, 10, 12)]
+    assert transfers == sorted(transfers)
+    # Conversions do not depend on precision, only bits moved do.
+    assert results[4].hirise_conversions == results[12].hirise_conversions
+
+
+def test_ablation_roi_overlap_policy(benchmark, emit):
+    """Sum vs union readout on a crowded scene."""
+    rois = benchmark.pedantic(crowded_rois, rounds=1, iterations=1)
+    summed = total_area(rois)
+    union = union_area(rois)
+    savings = 1.0 - union / summed
+    emit(
+        f"\nablation: ROI overlap policy on a crowded frame "
+        f"({len(rois)} person boxes)\n"
+        f"  summed readout : {summed:,} px\n"
+        f"  union readout  : {union:,} px  ({savings:.0%} fewer conversions)"
+    )
+    assert union <= summed
+    assert savings > 0.02  # crowds overlap; dedup must buy something
+
+    cost_sum = hirise_costs(*ARRAY, 8, rois, dedup_overlaps=False)
+    cost_union = hirise_costs(*ARRAY, 8, rois, dedup_overlaps=True)
+    assert cost_union.hirise_conversions < cost_sum.hirise_conversions
+    assert cost_union.transfer_reduction > cost_sum.transfer_reduction
+
+
+def test_ablation_grayscale_stage1(benchmark, emit):
+    """Grayscale stage-1: large relative stage-1 saving, bounded total one."""
+
+    def sweep():
+        model = EnergyModel()
+        rois = [(112, 112)] * 16
+        out = {}
+        for k in (2, 4, 8):
+            rgb = model.hirise_frame(*ARRAY, k, rois, grayscale=False)
+            gray = model.hirise_frame(*ARRAY, k, rois, grayscale=True)
+            out[k] = (rgb, gray)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "ablation: grayscale stage-1 (energy, mJ)",
+        ["k", "RGB total", "gray total", "total saving", "stage-1 saving"],
+    )
+    for k, (rgb, gray) in results.items():
+        table.add_row(
+            k, rgb.total_mj, gray.total_mj,
+            f"{(1 - gray.total / rgb.total) * 100:.0f}%",
+            f"{(1 - gray.stage1_adc / rgb.stage1_adc) * 100:.0f}%",
+        )
+    emit("\n" + table.render())
+
+    for k, (rgb, gray) in results.items():
+        # The circuit removes exactly 2/3 of stage-1 conversions...
+        assert gray.stage1_adc == pytest.approx(rgb.stage1_adc / 3)
+        # ...but total savings shrink as stage 2 dominates at large k.
+        assert gray.total < rgb.total
+    saving_k2 = 1 - results[2][1].total / results[2][0].total
+    saving_k8 = 1 - results[8][1].total / results[8][0].total
+    assert saving_k2 > saving_k8

@@ -1,0 +1,85 @@
+"""Reproduces **Fig. 5**: SPICE-style transients of the analog averaging
+circuit — (a) two analog inputs, (b) four digital inputs, plus the paper's
+192-input extension.
+
+The paper validates three behaviors: the shared node follows a lone ramping
+input at half slope (region 1), opposing slopes cancel (region 2), and with
+digital inputs the node steps through the quantized mean levels, peaking
+when all inputs are high and bottoming when all are low.  The 192-input
+bench must remain "flawless" (clean affine tracking of the mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analog import four_input_bench, many_input_bench, two_input_bench
+from repro.bench import Table, ascii_line_chart
+
+
+def run_all():
+    fig5a = two_input_bench()
+    fig5b = four_input_bench()
+    ext = many_input_bench(n_inputs=192, t_stop=2e-4, dt=5e-6)
+    return fig5a, fig5b, ext
+
+
+def test_fig5_circuit_benches(benchmark, emit):
+    fig5a, fig5b, ext = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 5 (reproduced): tracking fits of the shared averaging node",
+        ["bench", "inputs", "gain (ideal 0.5)", "offset V", "rmse mV", "rel rmse"],
+        aligns=["l", "r", "r", "r", "r", "r"],
+    )
+    for bench, n in ((fig5a, 2), (fig5b, 4), (ext, 192)):
+        fit = bench.fit
+        table.add_row(
+            bench.name, n, fit.gain, fit.offset, fit.rmse * 1e3,
+            f"{fit.relative_rmse * 100:.2f}%",
+        )
+    emit("\n" + table.render())
+
+    # Fig. 5(a) waveform chart: inputs and the shared node.
+    inputs = fig5a.input_matrix()
+    stride = max(len(fig5a.time) // 64, 1)
+    emit(ascii_line_chart(
+        {
+            "Inp1": inputs[0][::stride],
+            "Inp2": inputs[1][::stride],
+            "Avg": fig5a.avg[::stride],
+        },
+        x_labels=[f"{fig5a.time[0] * 1e3:.1f}ms", f"{fig5a.time[-1] * 1e3:.1f}ms"],
+        title="\nFig. 5(a): two analog inputs and the Avg node",
+    ))
+    emit(ascii_line_chart(
+        {"Avg": fig5b.avg[:: max(len(fig5b.time) // 64, 1)]},
+        x_labels=["0", f"{fig5b.time[-1] * 1e3:.1f}ms"],
+        title="\nFig. 5(b): four digital inputs -> quantized average levels",
+    ))
+
+    # Shape targets (DESIGN.md §7).
+    for bench in (fig5a, fig5b):
+        assert bench.fit.gain == pytest.approx(0.5, abs=0.06)
+        assert bench.fit.relative_rmse < 0.02
+    assert ext.fit.relative_rmse < 0.05  # "flawless" at 192 inputs
+
+    # Region 2 of Fig. 5(a): opposing slopes -> flat Avg.
+    t = fig5a.time
+    mask = (t > t[-1] / 3 * 1.1) & (t < 2 * t[-1] / 3 * 0.9)
+    assert np.ptp(fig5a.avg[mask]) < 0.05 * np.ptp(fig5a.avg)
+
+    # Fig. 5(b) annotations: peak when all inputs high, trough when all low.
+    means = fig5b.input_matrix().mean(axis=0)
+    assert means[np.argmax(fig5b.avg)] == pytest.approx(means.max(), abs=0.05)
+    assert means[np.argmin(fig5b.avg)] == pytest.approx(means.min(), abs=0.05)
+
+
+def test_dc_operating_point_throughput(benchmark):
+    """Micro-benchmark: DC solve of a 12-pixel (2x2 RGB) pooling group."""
+    from repro.analog import DC, MNASolver, build_pooling_circuit
+
+    circuit = build_pooling_circuit([DC(0.5)] * 12)
+    solver = MNASolver(circuit)
+    benchmark(solver.dc)

@@ -1,0 +1,101 @@
+"""Reproduces **Fig. 6**: peak memory of the two-stage system vs pixel-array
+size, (a) in-processor scaling vs (b) in-sensor scaling, against the
+STM32H743's 512 kB SRAM budget.
+
+Following the paper's setup: the stage-1 model always sees a 320x240 frame;
+stage 2 sees one ROI whose side grows with the array (14 px per 320 of
+width, the CrowdHuman head statistic).  In-processor scaling must hold the
+*full* frame in SRAM to scale it digitally; in-sensor scaling holds only
+the 320x240 pooled frame, so its curve stays flat while the ROI/model terms
+grow slowly.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, ascii_line_chart, series_csv
+from repro.memory import (
+    MCUNETV2_PATCH_OPS,
+    STM32H743,
+    analyze,
+    analyze_patched,
+    mcunetv2_classifier,
+    mcunetv2_detector,
+)
+
+ARRAYS = [
+    (320, 240), (640, 480), (960, 720), (1280, 960),
+    (1600, 1200), (1920, 1440), (2240, 1680), (2560, 1920),
+]
+STAGE1_FRAME_BYTES = 320 * 240 * 3
+
+
+def roi_side(width: int) -> int:
+    return max(round(14 * width / 320), 8)
+
+
+def compute_fig6():
+    det_peak = analyze_patched(
+        mcunetv2_detector((240, 320)), MCUNETV2_PATCH_OPS
+    ).peak_sram_bytes
+    rows = []
+    for w, h in ARRAYS:
+        side = roi_side(w)
+        cls_peak = analyze(mcunetv2_classifier((side, side))).peak_sram_bytes
+        # Paper Table 3 accounting: total = resident image memory + stage-2
+        # peak activations (the stage-1 model's peak is its own dashed line
+        # in Fig. 6 and is reported separately here).
+        inproc = w * h * 3 + cls_peak
+        insensor = max(STAGE1_FRAME_BYTES, side * side * 3) + cls_peak
+        rows.append((w, h, side, det_peak, cls_peak, inproc, insensor))
+    return rows
+
+
+def test_fig6_memory(benchmark, emit):
+    rows = benchmark.pedantic(compute_fig6, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 6 (reproduced): two-stage peak memory vs pixel array (kB, decimal)",
+        ["array", "ROI", "stage1-det kB", "stage2-cls kB",
+         "in-proc total kB", "in-sensor total kB", "512kB ok?"],
+        aligns=["l", "r", "r", "r", "r", "r", "l"],
+    )
+    budget = STM32H743.sram_bytes
+    for w, h, side, det, cls_, inproc, insens in rows:
+        table.add_row(
+            f"{w}x{h}", f"{side}x{side}", det / 1000, cls_ / 1000,
+            inproc / 1000, insens / 1000,
+            f"in-proc {'yes' if inproc <= budget else 'NO'}, "
+            f"in-sensor {'yes' if insens <= budget else 'NO'}",
+        )
+    emit("\n" + table.render())
+
+    labels = [f"{w}x{h}" for w, h, *_ in rows]
+    series = {
+        "in-processor": [r[5] / 1000 for r in rows],
+        "in-sensor (HiRISE)": [r[6] / 1000 for r in rows],
+        "512 kB budget": [budget / 1000] * len(rows),
+    }
+    emit(ascii_line_chart(series, x_labels=labels, logy=True,
+                          title="\nFig. 6: peak memory (kB, log scale)"))
+    emit("\nCSV:\n" + series_csv(series, labels))
+
+    # Shape targets (DESIGN.md §7).
+    inproc = [r[5] for r in rows]
+    insens = [r[6] for r in rows]
+    # (1) In-processor fits at 320x240 but runs out by 640x480.
+    assert inproc[0] <= budget
+    assert inproc[1] > budget
+    # (2) In-processor grows ~linearly with pixel count.
+    assert inproc[-1] > inproc[0] * 10
+    # (3) In-sensor stays within budget across the entire sweep.
+    assert all(v <= budget for v in insens)
+    # (4) In-sensor grows far slower than in-processor.
+    assert (insens[-1] / insens[0]) < (inproc[-1] / inproc[0]) / 5
+
+
+def test_memory_analyzer_throughput(benchmark):
+    """Micro-benchmark: full-graph peak-SRAM analysis of MobileNetV2."""
+    from repro.memory import mobilenetv2
+
+    graph = mobilenetv2((112, 112))
+    benchmark(lambda: analyze(graph))

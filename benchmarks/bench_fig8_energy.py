@@ -1,0 +1,135 @@
+"""Reproduces **Fig. 8**: median sensor energy under different pooling
+levels, for RGB (left) and grayscale (right) stage-1 frames, across the
+three detection datasets at a 2560x1920 pixel array.
+
+Two ROI-load variants are reported:
+
+* **measured** — each synthetic dataset's own ground-truth boxes (union
+  area, since the encoder reads overlapping pixels once);
+* **paper load** — CrowdHuman stage-2 fixed at the paper's back-solved
+  0.45 Mpx (9.2% of the frame), which reproduces the 3x / 6.5x / 9.4x
+  reductions exactly.
+
+Note the paper's Figs. 7 and 8 imply different CrowdHuman ROI loads (27%
+vs 9.2% of the frame); see EXPERIMENTS.md for the discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, ascii_bar_chart
+from repro.core import ROI, EnergyModel, union_area
+from repro.datasets import crowdhuman_like, dhdcampus_like, visdrone_like
+
+ARRAY = (2560, 1920)
+POOLINGS = [2, 4, 8]
+SCENE_RESOLUTION = (640, 480)
+N_SCENES = 5
+
+DATASETS = {
+    "crowdhuman-like": (crowdhuman_like, ("person",)),
+    "dhdcampus-like": (dhdcampus_like, ("person", "cyclist")),
+    "visdrone-like": (visdrone_like, None),  # all classes
+}
+
+
+def scene_rois(scene, labels) -> list[ROI]:
+    rois = []
+    for b in scene.boxes:
+        if labels is not None and b.label not in labels:
+            continue
+        clipped = ROI(int(b.x), int(b.y), max(int(b.w), 1), max(int(b.h), 1)).clip(
+            *scene.resolution
+        )
+        if clipped:
+            rois.append(clipped)
+    return rois
+
+
+def compute_fig8():
+    model = EnergyModel()
+    w, h = ARRAY
+    scale = w / SCENE_RESOLUTION[0]
+    baseline = model.conventional_frame(w, h).total
+
+    results = {}
+    for name, (gen, labels) in DATASETS.items():
+        scenes = gen(N_SCENES, resolution=SCENE_RESOLUTION, seed=31)
+        per_scene = [scene_rois(s, labels) for s in scenes]
+        for k in POOLINGS:
+            for gray in (False, True):
+                energies = []
+                for rois in per_scene:
+                    scaled = [r.scaled(scale) for r in rois]
+                    # Union load: the encoder converts overlapped pixels once.
+                    side = int(np.sqrt(max(union_area(scaled), 1)))
+                    breakdown = model.hirise_frame(
+                        w, h, k, [ROI(0, 0, side, side)], grayscale=gray
+                    )
+                    energies.append(breakdown.total)
+                results[(name, k, gray)] = float(np.median(energies))
+    return baseline, results
+
+
+def test_fig8_energy(benchmark, emit):
+    baseline, results = benchmark.pedantic(compute_fig8, rounds=1, iterations=1)
+    model = EnergyModel()
+
+    table = Table(
+        "Fig. 8 (reproduced): median sensor energy @2560x1920 (mJ)",
+        ["dataset", "k", "RGB mJ", "RGB red", "gray mJ", "gray red"],
+        aligns=["l", "r", "r", "r", "r", "r"],
+    )
+    for name in DATASETS:
+        for k in POOLINGS:
+            rgb = results[(name, k, False)]
+            gray = results[(name, k, True)]
+            table.add_row(
+                name, k, rgb * 1e3, f"{baseline / rgb:.1f}x",
+                gray * 1e3, f"{baseline / gray:.1f}x",
+            )
+    emit(f"\nbaseline (full conversion): {baseline * 1e3:.3f} mJ (paper: 1.85 mJ)")
+    emit(table.render())
+
+    bars = {
+        f"{name.split('-')[0]} k={k}": results[(name, k, False)] * 1e3
+        for name in DATASETS
+        for k in POOLINGS
+    }
+    emit(ascii_bar_chart(bars, unit=" mJ", title="\nFig. 8 left (RGB):"))
+
+    # Paper-load variant: CrowdHuman stage-2 fixed at 0.45 Mpx.
+    paper_table = Table(
+        "Fig. 8 with the paper's back-solved CrowdHuman stage-2 load (0.45 Mpx)",
+        ["k", "total mJ", "stage1 share", "reduction (paper: 3.0/6.5/9.4)"],
+    )
+    paper_expected = {2: 3.0, 4: 6.5, 8: 9.4}
+    for k in POOLINGS:
+        breakdown = model.hirise_frame(*ARRAY, k, [ROI(0, 0, 672, 672)])
+        reduction = baseline / breakdown.total
+        paper_table.add_row(
+            k, breakdown.total_mj, f"{breakdown.share('stage1_adc') * 100:.0f}%",
+            f"{reduction:.1f}x",
+        )
+        assert reduction == pytest.approx(paper_expected[k], rel=0.12)
+    emit("\n" + paper_table.render())
+
+    # Shape targets on the measured variant.
+    assert baseline == pytest.approx(1.843e-3, rel=0.01)
+    for name in DATASETS:
+        reductions = [baseline / results[(name, k, False)] for k in POOLINGS]
+        assert reductions == sorted(reductions), name  # larger k -> larger win
+        assert all(r > 1.0 for r in reductions)
+    for k in POOLINGS:
+        # CrowdHuman-like is the most expensive dataset (most/biggest ROIs).
+        others = [results[(n, k, False)] for n in DATASETS if n != "crowdhuman-like"]
+        assert results[("crowdhuman-like", k, False)] >= max(others) * 0.95
+        # Grayscale stage-1 costs no more than RGB.
+        for name in DATASETS:
+            assert results[(name, k, True)] <= results[(name, k, False)] + 1e-9
+
+    # Pooling-circuit energy is orders of magnitude below ADC energy.
+    breakdown = model.hirise_frame(*ARRAY, 2, [ROI(0, 0, 672, 672)])
+    assert breakdown.pooling < breakdown.total / 1000

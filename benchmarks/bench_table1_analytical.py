@@ -1,0 +1,75 @@
+"""Reproduces **Table 1**: analytical relations for data transfer, memory
+capacity and signal conversion, HiRISE vs the conventional system.
+
+The paper's table is symbolic; this bench evaluates it over the pixel-array
+sizes and pooling levels of the evaluation section and checks the three
+governing conditions (Eqs. 1-3) hold everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table
+from repro.core import conventional_costs, hirise_costs
+
+ARRAYS = [(320, 240), (640, 480), (1280, 960), (2560, 1920)]
+POOLINGS = [2, 4, 8]
+
+#: Paper Table 3 ROI statistics: 16 head boxes whose side scales with the
+#: array width (112 px at 2560).
+def paper_rois(width: int) -> list[tuple[int, int]]:
+    side = max(round(14 * width / 320), 1)
+    return [(side, side)] * 16
+
+
+def evaluate_table1() -> Table:
+    table = Table(
+        "Table 1 (evaluated): data transfer / peak memory / ADC conversions",
+        ["array", "k", "D_old kB", "D_new kB", "D red",
+         "Mem_old kB", "Mem_new kB", "Mem red", "C_old", "C_new", "C red"],
+    )
+    for (w, h) in ARRAYS:
+        for k in POOLINGS:
+            breakdown = hirise_costs(w, h, k, paper_rois(w), grayscale=False)
+            conv = breakdown.conventional
+            table.add_row(
+                f"{w}x{h}", k,
+                conv.data_transfer_bytes / 1000,
+                breakdown.hirise_transfer_bits / 8 / 1000,
+                f"{breakdown.transfer_reduction:.1f}x",
+                conv.memory_bytes / 1000,
+                breakdown.hirise_peak_memory_bits / 8 / 1000,
+                f"{breakdown.memory_reduction:.1f}x",
+                conv.adc_conversions,
+                breakdown.hirise_conversions,
+                f"{breakdown.conversion_reduction:.1f}x",
+            )
+    return table
+
+
+def test_table1_analytical(benchmark, emit):
+    table = benchmark.pedantic(evaluate_table1, rounds=1, iterations=1)
+    emit("\n" + table.render())
+
+    # Shape targets: every configuration satisfies Eqs. 1-3.
+    for (w, h) in ARRAYS:
+        for k in POOLINGS:
+            breakdown = hirise_costs(w, h, k, paper_rois(w), grayscale=False)
+            assert breakdown.satisfies_paper_conditions(), (w, h, k)
+
+    # Anchor: the paper's headline cell (2560x1920, k=8) reproduces the
+    # 17.7x conversion/energy reduction and 833 kB HiRISE transfer.
+    headline = hirise_costs(2560, 1920, 8, paper_rois(2560), grayscale=False)
+    assert headline.conversion_reduction == pytest.approx(17.7, abs=0.2)
+    assert headline.hirise_transfer_bits / 8 / 1000 == pytest.approx(833, abs=5)
+    emit(
+        f"\nheadline: 2560x1920 k=8 -> transfer reduction "
+        f"{headline.transfer_reduction:.1f}x, conversions {headline.conversion_reduction:.1f}x "
+        f"(paper: 17.7x)"
+    )
+
+
+def test_cost_model_throughput(benchmark):
+    """Micro-benchmark: Table 1 evaluation is cheap enough to embed anywhere."""
+    benchmark(lambda: hirise_costs(2560, 1920, 8, paper_rois(2560)))

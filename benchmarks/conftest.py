@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark regenerates one paper table/figure: it computes the result
+once inside ``benchmark.pedantic`` (so pytest-benchmark reports its cost),
+prints the paper-style rows through ``emit`` (bypassing capture so the
+output lands in ``bench_output.txt``), and asserts the shape targets from
+DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print straight to the terminal, bypassing pytest's capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Read a boolean environment flag (1/true/yes)."""
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() in ("1", "true", "yes")
+
+
+def env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default

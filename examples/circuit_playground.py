@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Circuit playground: simulate the HiRISE analog averaging circuit.
+
+Builds the paper's Fig. 4 charge-sharing circuit at transistor level (MNA
+simulation, level-1 MOSFETs), runs the Fig. 5 test benches, and prints the
+waveforms and tracking fits.  Also sweeps the DC transfer curve used to
+calibrate the behavioral sensor model.
+
+Run:  python examples/circuit_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog import (
+    AVG_NODE,
+    DC,
+    MNASolver,
+    build_pooling_circuit,
+    dc_sweep_bench,
+    four_input_bench,
+    pixels_per_pool,
+    two_input_bench,
+)
+from repro.bench import Table, ascii_line_chart
+
+
+def main() -> None:
+    # -- DC: a single 2x2 RGB pooling group (12 pixels) ---------------------
+    n = pixels_per_pool(2)
+    print(f"2x2 RGB pooling merges {n} pixels; solving the DC operating point")
+    circuit = build_pooling_circuit([DC(0.6)] * n, title="2x2-rgb-pool")
+    solution = MNASolver(circuit).dc()
+    print(f"  all pixels at 0.6 V -> shared node at {solution[AVG_NODE]:+.4f} V "
+          "(below 0, as the paper's Eq. 4 condition requires)\n")
+
+    # -- Fig. 5(a): two analog inputs ------------------------------------------
+    print("running Fig. 5(a): two analog inputs ...")
+    fig5a = two_input_bench()
+    inputs = fig5a.input_matrix()
+    stride = max(len(fig5a.time) // 60, 1)
+    print(ascii_line_chart(
+        {
+            "Inp1": inputs[0][::stride],
+            "Inp2": inputs[1][::stride],
+            "Avg": fig5a.avg[::stride],
+        },
+        x_labels=["0", f"{fig5a.time[-1] * 1e3:.1f} ms"],
+        title="Fig. 5(a): regions 1 (ramp), 2 (opposing slopes), 3 (Inp1 alone)",
+    ))
+    print(f"tracking fit: gain={fig5a.fit.gain:.3f} (ideal 0.5), "
+          f"rmse={fig5a.fit.rmse * 1e3:.2f} mV\n")
+
+    # -- Fig. 5(b): four digital inputs ---------------------------------------
+    print("running Fig. 5(b): four digital inputs ...")
+    fig5b = four_input_bench()
+    stride = max(len(fig5b.time) // 60, 1)
+    print(ascii_line_chart(
+        {"Avg": fig5b.avg[::stride]},
+        x_labels=["0", f"{fig5b.time[-1] * 1e3:.1f} ms"],
+        title="Fig. 5(b): Avg steps through the quantized mean levels",
+    ))
+    levels = np.unique(np.round(fig5b.avg, 2))
+    print(f"distinct average plateaus observed: {len(levels)}\n")
+
+    # -- DC transfer sweep (behavioral-model calibration) ---------------------
+    print("DC transfer sweep of a 4-input group (0 .. VDD):")
+    sweep_in, sweep_out = dc_sweep_bench(n_inputs=4, n_points=9)
+    table = Table("shared-node DC transfer", ["input V", "avg node V"])
+    for vin, vout in zip(sweep_in, sweep_out):
+        table.add_row(f"{vin:.3f}", f"{vout:+.4f}")
+    table.print()
+    gain, offset = np.polyfit(sweep_in, sweep_out, 1)
+    print(f"affine fit: avg = {gain:.3f} * mean + ({offset:+.3f}) V — the "
+          "behavioral AnalogPoolingModel inverts exactly this map at readout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Drone surveillance: the pooling-level accuracy/energy trade-off.
+
+VisDrone-like aerial scenes contain tiny objects, making them the most
+resolution-sensitive workload in the paper (Table 2's accuracy more than
+doubles from 320x240 to 1280x960).  This script sweeps the pooling level
+on one pixel array and reports, for each setting, the stage-1 detection
+mAP together with the sensor-side cost of that accuracy — the ablation a
+system designer actually runs when picking k.
+
+Run:  python examples/drone_surveillance.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, ascii_bar_chart
+from repro.core import ROI, EnergyModel, hirise_costs
+from repro.datasets import SceneGenerator, VISDRONE_LIKE
+from repro.ml import CorrelationDetector, evaluate_detections
+from repro.sensor import AnalogPoolingModel, NoiseModel, PixelArray, SensorReadout
+
+ARRAY = (1280, 960)
+POOLINGS = (8, 4, 2)
+N_TRAIN, N_EVAL = 5, 3
+
+
+def pooled_frames(scenes, k):
+    frames = []
+    for scene in scenes:
+        arr = PixelArray.from_image(scene.image, noise=NoiseModel())
+        readout = SensorReadout(arr, pooling=AnalogPoolingModel())
+        frames.append(readout.read_compressed(k).images)
+    return frames
+
+
+def main() -> None:
+    print(f"generating VisDrone-like scenes at {ARRAY[0]}x{ARRAY[1]} ...")
+    train = SceneGenerator(VISDRONE_LIKE, ARRAY, seed=100).generate(N_TRAIN)
+    evals = SceneGenerator(VISDRONE_LIKE, ARRAY, seed=555).generate(N_EVAL)
+    energy_model = EnergyModel()
+
+    table = Table(
+        "pooling-level ablation: stage-1 accuracy vs sensor cost",
+        ["k", "stage-1 res", "mAP@0.5", "stage-1 kB", "HiRISE energy mJ",
+         "baseline energy mJ", "energy reduction"],
+    )
+    map_bars = {}
+    for k in POOLINGS:
+        print(f"  pooling {k}x{k}: fitting and evaluating ...")
+        detector = CorrelationDetector(classes=VISDRONE_LIKE.eval_classes)
+        detector.fit(
+            pooled_frames(train, k),
+            [[b.scaled(1 / k, 1 / k) for b in s.boxes] for s in train],
+        )
+        preds = detector.detect_batch(pooled_frames(evals, k))
+        result = evaluate_detections(
+            preds,
+            [[b.scaled(1 / k, 1 / k) for b in s.boxes] for s in evals],
+            VISDRONE_LIKE.eval_classes,
+        )
+
+        # Sensor cost with the ground-truth object load.
+        rois = [
+            ROI(int(b.x), int(b.y), max(int(b.w), 1), max(int(b.h), 1))
+            for b in evals[0].boxes
+        ]
+        costs = hirise_costs(*ARRAY, k, rois, grayscale=False)
+        energy = energy_model.hirise_frame(*ARRAY, k, rois)
+        base = energy_model.conventional_frame(*ARRAY)
+
+        table.add_row(
+            k, f"{ARRAY[0] // k}x{ARRAY[1] // k}", f"{result.map * 100:.1f}%",
+            costs.stage1.data_transfer_bytes / 1000,
+            f"{energy.total_mj:.4f}", f"{base.total_mj:.4f}",
+            f"{base.total / energy.total:.1f}x",
+        )
+        map_bars[f"k={k} ({ARRAY[0] // k}x{ARRAY[1] // k})"] = result.map * 100
+
+    table.print()
+    print(ascii_bar_chart(map_bars, unit="% mAP",
+                          title="accuracy vs pooling level:"))
+    print(
+        "\ntakeaway: 8x pooling maximizes energy savings but loses the tiny\n"
+        "objects; 4x is the knee where accuracy recovers at ~half the cost\n"
+        "of 2x — exactly the trade-off HiRISE lets a deployment tune."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Memory budget planner: which MCUs can host which camera, with and
+without HiRISE?
+
+For a portfolio of real microcontrollers this script computes, per pixel
+-array size, the peak SRAM a two-stage system needs under (a) in-processor
+scaling (the full frame must be resident) and (b) HiRISE in-sensor scaling
+(only the 320x240 stage-1 frame plus one ROI), and reports the largest
+camera each device can host — the practical version of the paper's Fig. 6.
+
+Run:  python examples/memory_budget.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.core import format_bytes
+from repro.memory import (
+    ALL_MCUS,
+    MCUNETV2_PATCH_OPS,
+    analyze,
+    analyze_patched,
+    mcunetv2_classifier,
+    mcunetv2_detector,
+)
+
+ARRAYS = [
+    (320, 240), (640, 480), (960, 720), (1280, 960),
+    (1600, 1200), (1920, 1440), (2240, 1680), (2560, 1920),
+]
+STAGE1_FRAME = 320 * 240 * 3
+
+
+def roi_side(width: int) -> int:
+    return max(round(14 * width / 320), 8)
+
+
+def main() -> None:
+    det = analyze_patched(mcunetv2_detector((240, 320)), MCUNETV2_PATCH_OPS)
+    print(f"stage-1 detector: peak {format_bytes(det.peak_sram_bytes)} "
+          f"(patch-based), flash {format_bytes(det.flash_bytes)}\n")
+
+    table = Table(
+        "peak SRAM demand per pixel array (stage-2 MCUNetV2-like)",
+        ["array", "ROI", "in-proc SRAM", "HiRISE SRAM"]
+        + [m.name for m in ALL_MCUS],
+        aligns=["l", "l", "r", "r"] + ["l"] * len(ALL_MCUS),
+    )
+    best: dict[str, dict[str, str]] = {
+        m.name: {"in-proc": "none", "hirise": "none"} for m in ALL_MCUS
+    }
+    for w, h in ARRAYS:
+        side = roi_side(w)
+        cls_report = analyze(mcunetv2_classifier((side, side)))
+        inproc = w * h * 3 + cls_report.peak_sram_bytes
+        hirise = max(STAGE1_FRAME, side * side * 3) + cls_report.peak_sram_bytes
+        verdicts = []
+        for mcu in ALL_MCUS:
+            ip = "P" if inproc <= mcu.sram_bytes else "-"
+            hr = "H" if hirise <= mcu.sram_bytes else "-"
+            verdicts.append(f"{ip}{hr}")
+            if inproc <= mcu.sram_bytes:
+                best[mcu.name]["in-proc"] = f"{w}x{h}"
+            if hirise <= mcu.sram_bytes:
+                best[mcu.name]["hirise"] = f"{w}x{h}"
+        table.add_row(
+            f"{w}x{h}", f"{side}x{side}",
+            format_bytes(inproc), format_bytes(hirise), *verdicts,
+        )
+    table.print()
+    print("legend: P = fits with in-processor scaling, H = fits with HiRISE\n")
+
+    summary = Table(
+        "largest camera each MCU can host",
+        ["MCU", "SRAM", "in-processor scaling", "with HiRISE"],
+        aligns=["l", "r", "r", "r"],
+    )
+    for mcu in ALL_MCUS:
+        summary.add_row(
+            mcu.name, f"{mcu.sram_kb:.0f} kB",
+            best[mcu.name]["in-proc"], best[mcu.name]["hirise"],
+        )
+    summary.print()
+
+
+if __name__ == "__main__":
+    main()

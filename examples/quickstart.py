@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: HiRISE vs a conventional pipeline on one crowded scene.
+
+Recreates the paper's Fig. 1 story: a crowded 1280x960 scene is processed
+two ways —
+
+* **conventional**: the whole frame is converted and shipped; a face crop
+  then has to come from a *digitally downscaled* image;
+* **HiRISE**: the sensor ships an 8x-pooled stage-1 frame, receives the
+  head boxes back, and reads only those pixels at full resolution.
+
+The script prints the cost comparison (data transfer, energy, memory, ADC
+conversions) and renders the same head ROI from both paths as ASCII art so
+the resolution difference is visible in a terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    ConventionalPipeline,
+    HiRISEConfig,
+    HiRISEPipeline,
+    ROI,
+    comparison_report,
+)
+from repro.datasets import crowdhuman_like
+from repro.ml.image import downscale_antialiased, resize_bilinear, to_gray
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(image: np.ndarray, width: int = 48) -> str:
+    """Crude luminance -> character rendering of an image crop."""
+    gray = to_gray(image)
+    height = max(int(width * gray.shape[0] / gray.shape[1] * 0.5), 1)
+    small = resize_bilinear(gray, (height, width))
+    idx = np.clip((small * (len(ASCII_RAMP) - 1)).astype(int), 0, len(ASCII_RAMP) - 1)
+    return "\n".join("".join(ASCII_RAMP[v] for v in row) for row in idx)
+
+
+def main() -> None:
+    print("generating a CrowdHuman-like 1280x960 scene ...")
+    scene = crowdhuman_like(1, resolution=(1280, 960), seed=11)[0]
+    heads = [
+        ROI(int(b.x), int(b.y), max(int(b.w), 2), max(int(b.h), 2), 0.9, "head")
+        for b in scene.boxes_for("head")
+    ]
+    print(f"scene contains {len(heads)} heads")
+
+    config = HiRISEConfig.for_stage1_resolution((1280, 960), (320, 240))
+    hirise = HiRISEPipeline(config=config).run(scene.image, rois=heads)
+    baseline = ConventionalPipeline().run(scene.image, rois=heads)
+
+    print()
+    print(comparison_report(hirise, baseline))
+
+    # Fig. 1: the same head, from the pooled frame vs the HiRISE ROI.
+    roi = max(hirise.rois, key=lambda r: r.area)
+    crop_hirise = next(
+        c for r, c in zip(hirise.rois, hirise.roi_crops) if r == roi
+    )
+    # What the conventional low-res path sees: the head inside the frame
+    # that was pooled down to stage-1 resolution (320x240).
+    pooled_crop = downscale_antialiased(
+        scene.image[roi.y : roi.y2, roi.x : roi.x2], 1.0 / config.pool_k
+    )
+
+    print(f"\n(a) head from the {320}x{240} pooled frame "
+          f"({pooled_crop.shape[1]}x{pooled_crop.shape[0]} px):\n")
+    print(ascii_render(pooled_crop))
+    print(f"\n(b) the same head via HiRISE selective ROI "
+          f"({roi.w}x{roi.h} px at full resolution):\n")
+    print(ascii_render(crop_hirise))
+    print(
+        "\nHiRISE keeps the full-resolution detail while moving "
+        f"{baseline.ledger.total_bytes / hirise.ledger.total_bytes:.1f}x "
+        "less data off the sensor."
+    )
+
+
+if __name__ == "__main__":
+    main()

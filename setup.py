@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``pip install -e .`` editable path (PEP 660 editable builds require the
+``wheel`` package, which offline deployments may lack).
+"""
+
+from setuptools import setup
+
+setup()

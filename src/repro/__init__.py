@@ -1,0 +1,52 @@
+"""repro — a full reproduction of HiRISE (DAC 2024).
+
+HiRISE: High-Resolution Image Scaling for Edge ML via In-Sensor Compression
+and Selective ROI.  The package provides:
+
+* :mod:`repro.analog` — MNA circuit simulator + the paper's Fig. 4/5 analog
+  averaging circuit and test benches.
+* :mod:`repro.sensor` — behavioral image-sensor model: pixel array, analog
+  grayscale and k x k pooling, ADC, full-frame and selective-ROI readout.
+* :mod:`repro.datasets` — procedural stand-ins for CrowdHuman, DHDCampus,
+  VisDrone and RAF-DB with ground truth.
+* :mod:`repro.ml` — NumPy ML stack: layers/training, detectors, classifiers
+  and mAP evaluation.
+* :mod:`repro.memory` — TFLite-Micro-style peak-SRAM/flash analyzer and a
+  model zoo (MCUNetV2-like, MobileNetV2).
+* :mod:`repro.transfer` — sensor<->processor link accounting.
+* :mod:`repro.core` — the HiRISE system: ROI algebra, the Table 1 cost
+  model, the energy model, and end-to-end pipelines.
+
+The most commonly used names are re-exported lazily at the top level so that
+``import repro.analog`` does not pay for the ML stack and vice versa.
+"""
+
+__version__ = "1.0.0"
+
+#: Top-level name -> providing submodule, resolved lazily (PEP 562).
+_EXPORTS = {
+    "ROI": "repro.core",
+    "HiRISEConfig": "repro.core",
+    "HiRISEPipeline": "repro.core",
+    "ConventionalPipeline": "repro.core",
+    "PipelineOutcome": "repro.core",
+    "CostBreakdown": "repro.core",
+    "EnergyModel": "repro.core",
+    "conventional_costs": "repro.core",
+    "hirise_costs": "repro.core",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return __all__

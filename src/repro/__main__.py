@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list every reproducible paper artifact and its bench;
+* ``costs`` — evaluate the Table 1 cost model for one configuration;
+* ``compare`` — run both pipelines on a synthetic scene and print the
+  reduction report;
+* ``circuit`` — solve the analog averaging circuit's DC point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from .bench import EXPERIMENTS
+
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.exp_id:<8} {exp.paper_ref:<8} {exp.bench}")
+        print(f"         {exp.description}")
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    from .core import format_bytes, hirise_costs
+
+    rois = [(args.roi, args.roi)] * args.n_rois
+    breakdown = hirise_costs(
+        args.width, args.height, args.k, rois, grayscale=args.gray
+    )
+    conv = breakdown.conventional
+    print(f"pixel array {args.width}x{args.height}, k={args.k}, "
+          f"{args.n_rois} ROIs of {args.roi}x{args.roi}, "
+          f"stage-1 {'gray' if args.gray else 'RGB'}")
+    print(f"  baseline transfer : {format_bytes(conv.data_transfer_bytes)}")
+    print(f"  HiRISE transfer   : {format_bytes(breakdown.hirise_transfer_bits / 8)} "
+          f"({breakdown.transfer_reduction:.1f}x less)")
+    print(f"  baseline memory   : {format_bytes(conv.memory_bytes)}")
+    print(f"  HiRISE peak memory: {format_bytes(breakdown.hirise_peak_memory_bits / 8)} "
+          f"({breakdown.memory_reduction:.1f}x less)")
+    print(f"  ADC conversions   : {conv.adc_conversions:,} -> "
+          f"{breakdown.hirise_conversions:,} ({breakdown.conversion_reduction:.1f}x less)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core import (
+        ConventionalPipeline,
+        HiRISEConfig,
+        HiRISEPipeline,
+        ROI,
+        comparison_report,
+    )
+    from .datasets import crowdhuman_like
+
+    scene = crowdhuman_like(1, resolution=(args.width, args.height), seed=args.seed)[0]
+    rois = [
+        ROI(int(b.x), int(b.y), max(int(b.w), 2), max(int(b.h), 2), 0.9, "head")
+        for b in scene.boxes_for("head")
+    ]
+    hirise = HiRISEPipeline(config=HiRISEConfig(pool_k=args.k)).run(scene.image, rois=rois)
+    baseline = ConventionalPipeline().run(scene.image, rois=rois)
+    print(comparison_report(hirise, baseline))
+    return 0
+
+
+def _cmd_circuit(args: argparse.Namespace) -> int:
+    from .analog import AVG_NODE, DC, MNASolver, build_pooling_circuit
+
+    circuit = build_pooling_circuit([DC(args.level)] * args.inputs)
+    solution = MNASolver(circuit).dc()
+    print(f"{args.inputs} inputs at {args.level} V -> shared node "
+          f"{solution[AVG_NODE]:+.4f} V")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HiRISE (DAC 2024) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproducible paper artifacts")
+
+    costs = sub.add_parser("costs", help="evaluate the Table 1 cost model")
+    costs.add_argument("--width", type=int, default=2560)
+    costs.add_argument("--height", type=int, default=1920)
+    costs.add_argument("--k", type=int, default=8)
+    costs.add_argument("--roi", type=int, default=112, help="ROI side in px")
+    costs.add_argument("--n-rois", type=int, default=16)
+    costs.add_argument("--gray", action="store_true", help="grayscale stage 1")
+
+    compare = sub.add_parser("compare", help="run both pipelines on a scene")
+    compare.add_argument("--width", type=int, default=1280)
+    compare.add_argument("--height", type=int, default=960)
+    compare.add_argument("--k", type=int, default=4)
+    compare.add_argument("--seed", type=int, default=0)
+
+    circuit = sub.add_parser("circuit", help="DC-solve the averaging circuit")
+    circuit.add_argument("--inputs", type=int, default=12)
+    circuit.add_argument("--level", type=float, default=0.5)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "costs": _cmd_costs,
+        "compare": _cmd_compare,
+        "circuit": _cmd_circuit,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

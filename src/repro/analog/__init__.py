@@ -1,0 +1,85 @@
+"""Analog circuit simulation substrate (the project's HSPICE substitute).
+
+Public surface:
+
+* :class:`Circuit` plus components (:class:`Resistor`, :class:`Capacitor`,
+  :class:`VoltageSource`, :class:`CurrentSource`, :class:`MOSFET`).
+* :class:`MNASolver` with DC operating point and backward-Euler transient.
+* Waveforms (:class:`DC`, :class:`PWL`, :class:`Pulse`, :class:`Sine`,
+  :class:`Triangle`).
+* HiRISE pooling-circuit builders and the Fig. 5 test benches.
+"""
+
+from .components import (
+    GMIN,
+    GROUND,
+    Capacitor,
+    Component,
+    CurrentSource,
+    MOSFET,
+    MOSFETParams,
+    Resistor,
+    VoltageSource,
+)
+from .mna import ConvergenceError, MNASolver, TransientResult, dc_operating_point, transient
+from .netlist import Circuit, NetlistError
+from .pooling_circuit import (
+    AVG_NODE,
+    PoolingCircuitSpec,
+    PoolingEnergyModel,
+    build_pooling_circuit,
+    build_resistive_average,
+    ideal_shared_node_voltage,
+    invert_shared_node_voltage,
+    pixels_per_pool,
+)
+from .testbench import (
+    BenchResult,
+    TrackingFit,
+    dc_sweep_bench,
+    fit_tracking,
+    four_input_bench,
+    many_input_bench,
+    two_input_bench,
+)
+from .waveforms import DC, PWL, Pulse, Sine, Triangle, as_waveform
+
+__all__ = [
+    "AVG_NODE",
+    "BenchResult",
+    "Capacitor",
+    "Circuit",
+    "Component",
+    "ConvergenceError",
+    "CurrentSource",
+    "DC",
+    "GMIN",
+    "GROUND",
+    "MNASolver",
+    "MOSFET",
+    "MOSFETParams",
+    "NetlistError",
+    "PoolingCircuitSpec",
+    "PoolingEnergyModel",
+    "PWL",
+    "Pulse",
+    "Resistor",
+    "Sine",
+    "TrackingFit",
+    "TransientResult",
+    "Triangle",
+    "VoltageSource",
+    "as_waveform",
+    "build_pooling_circuit",
+    "build_resistive_average",
+    "dc_operating_point",
+    "dc_sweep_bench",
+    "fit_tracking",
+    "four_input_bench",
+    "ideal_shared_node_voltage",
+    "invert_shared_node_voltage",
+    "many_input_bench",
+    "pixels_per_pool",
+    "transient",
+    "two_input_bench",
+]

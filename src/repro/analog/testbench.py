@@ -1,0 +1,251 @@
+"""Reproductions of the paper's SPICE test benches (Fig. 5).
+
+The paper validates the analog averaging circuit with three benches:
+
+1. **Fig. 5(a)** — two *analog* inputs.  Three annotated regions:
+   region 1: one input constant, the other ramping -> Avg follows the
+   ramp with half the slope; region 2: opposing slopes -> Avg flat;
+   region 3: the first input ramps alone -> its influence is visible.
+2. **Fig. 5(b)** — four *digital* inputs stepping through combinations ->
+   Avg takes the quantized levels 0, 1/4, 1/2, 3/4, 1 (affinely mapped).
+3. An extension to **192 inputs** (8x8 pooling of RGB = 192 pixels), which
+   the paper reports as "flawless".
+
+Each bench returns a :class:`BenchResult` carrying the raw waveforms plus
+the affine-tracking fit of the shared node against the instantaneous input
+mean, so tests and benchmarks can assert quantitative tracking quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .mna import MNASolver, TransientResult
+from .pooling_circuit import AVG_NODE, PoolingCircuitSpec, build_pooling_circuit
+from .waveforms import PWL, DC, Pulse
+
+#: Default transient horizon (seconds) for the benches.
+T_STOP = 1.0e-3
+#: Default step size.
+DT = 5.0e-6
+
+
+@dataclass
+class TrackingFit:
+    """Least-squares affine fit ``avg ≈ gain * mean(inputs) + offset``.
+
+    Attributes:
+        gain: fitted gain (ideal passive core: 0.5).
+        offset: fitted offset in volts (ideal passive core: -VDD/2).
+        rmse: root-mean-square residual of the fit (V).
+        max_abs_error: worst-case residual (V).
+        swing: peak-to-peak range of the avg waveform (V), for normalizing.
+    """
+
+    gain: float
+    offset: float
+    rmse: float
+    max_abs_error: float
+    swing: float
+
+    @property
+    def relative_rmse(self) -> float:
+        """RMSE normalized by output swing; small values mean clean tracking."""
+        return self.rmse / self.swing if self.swing > 0 else 0.0
+
+
+@dataclass
+class BenchResult:
+    """Everything produced by one test bench run."""
+
+    name: str
+    result: TransientResult
+    input_waveforms: tuple[Callable[[float], float], ...]
+    fit: TrackingFit
+
+    @property
+    def time(self) -> np.ndarray:
+        return self.result.time
+
+    @property
+    def avg(self) -> np.ndarray:
+        return self.result.voltage(AVG_NODE)
+
+    def input_matrix(self) -> np.ndarray:
+        """Inputs sampled on the transient time grid, shape (n_inputs, T)."""
+        return np.array(
+            [[w(float(t)) for t in self.time] for w in self.input_waveforms]
+        )
+
+
+def fit_tracking(
+    result: TransientResult,
+    input_waveforms: Sequence[Callable[[float], float]],
+    settle_fraction: float = 0.05,
+) -> TrackingFit:
+    """Fit the shared node against the instantaneous input mean.
+
+    Args:
+        result: transient waveforms.
+        input_waveforms: the stimulus callables, sampled on the result grid.
+        settle_fraction: fraction of the initial samples discarded to let
+            the (possibly capacitive) node settle.
+
+    Returns:
+        The affine :class:`TrackingFit`.
+    """
+    time = result.time
+    avg = result.voltage(AVG_NODE)
+    start = int(len(time) * settle_fraction)
+    t_used = time[start:]
+    avg_used = avg[start:]
+    means = np.mean(
+        [[w(float(t)) for t in t_used] for w in input_waveforms], axis=0
+    )
+    design = np.stack([means, np.ones_like(means)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, avg_used, rcond=None)
+    residual = avg_used - design @ coef
+    swing = float(np.ptp(avg_used))
+    return TrackingFit(
+        gain=float(coef[0]),
+        offset=float(coef[1]),
+        rmse=float(np.sqrt(np.mean(residual**2))),
+        max_abs_error=float(np.max(np.abs(residual))),
+        swing=swing,
+    )
+
+
+def _run(
+    name: str,
+    waveforms: Sequence[Callable[[float], float]],
+    spec: PoolingCircuitSpec | None,
+    t_stop: float,
+    dt: float,
+) -> BenchResult:
+    circuit = build_pooling_circuit(list(waveforms), spec=spec, title=name)
+    result = MNASolver(circuit).transient(t_stop, dt)
+    fit = fit_tracking(result, waveforms)
+    return BenchResult(
+        name=name, result=result, input_waveforms=tuple(waveforms), fit=fit
+    )
+
+
+def two_input_bench(
+    vdd: float = 1.0,
+    spec: PoolingCircuitSpec | None = None,
+    t_stop: float = T_STOP,
+    dt: float = DT,
+) -> BenchResult:
+    """Fig. 5(a): two analog inputs with the paper's three regions.
+
+    Timeline (fractions of ``t_stop``):
+      * [0.0, 0.33) — region 1: Inp1 constant at mid-rail, Inp2 ramps up.
+      * [0.33, 0.66) — region 2: opposing slopes (Inp1 down, Inp2 up) ->
+        the average is approximately flat.
+      * [0.66, 1.0] — region 3: Inp1 ramps up alone; its influence on Avg
+        is directly visible.
+    """
+    t1, t2 = t_stop / 3.0, 2.0 * t_stop / 3.0
+    hi, mid, lo = 0.9 * vdd, 0.5 * vdd, 0.1 * vdd
+    # Region 1: Inp1 holds at mid while Inp2 ramps lo->hi (Avg follows at
+    #           half slope).  Region 2: opposing slopes, constant sum ->
+    #           flat Avg.  Region 3: Inp1 ramps alone -> its influence is
+    #           directly visible.
+    inp1 = PWL([(0.0, mid), (t1, mid), (t2, hi), (t_stop, lo)])
+    inp2 = PWL([(0.0, lo), (t1, hi), (t2, mid), (t_stop, mid)])
+    waveforms = (inp1, inp2)
+    if spec is None:
+        spec = PoolingCircuitSpec(vdd=vdd)
+    return _run("fig5a-two-analog-inputs", waveforms, spec, t_stop, dt)
+
+
+def four_input_bench(
+    vdd: float = 1.0,
+    spec: PoolingCircuitSpec | None = None,
+    t_stop: float = T_STOP,
+    dt: float = DT,
+) -> BenchResult:
+    """Fig. 5(b): four digital inputs; Avg steps through quantized levels.
+
+    The four pulse trains have periods T, T/2, T/4, T/8 so the input vector
+    counts through all 16 binary combinations; the shared node must visit
+    the five levels {0, 1/4, 1/2, 3/4, 1} * VDD (affinely mapped).  All
+    inputs are simultaneously high at the start of the cycle (paper's
+    annotation 1) and simultaneously low mid-cycle (annotation 2).
+    """
+    period = t_stop / 2.0
+    rise = period / 200.0
+    waveforms = tuple(
+        Pulse(
+            v1=0.0,
+            v2=vdd,
+            delay=0.0,
+            rise=rise,
+            fall=rise,
+            width=period / (2.0**k) / 2.0 - rise,
+            period=period / (2.0**k),
+        )
+        for k in range(4)
+    )
+    if spec is None:
+        spec = PoolingCircuitSpec(vdd=vdd)
+    return _run("fig5b-four-digital-inputs", waveforms, spec, t_stop, dt)
+
+
+def many_input_bench(
+    n_inputs: int = 192,
+    vdd: float = 1.0,
+    seed: int = 2024,
+    spec: PoolingCircuitSpec | None = None,
+    t_stop: float = T_STOP,
+    dt: float = DT,
+) -> BenchResult:
+    """The paper's 192-input extension (8x8 pooling of an RGB group).
+
+    Each input is a random digital PWL waveform (deterministic per
+    ``seed``); the bench checks the shared node still tracks the mean.
+    """
+    rng = np.random.default_rng(seed)
+    n_segments = 8
+    seg = t_stop / n_segments
+    waveforms = []
+    for i in range(n_inputs):
+        levels = rng.integers(0, 2, size=n_segments).astype(float) * vdd
+        points: list[tuple[float, float]] = []
+        for s, level in enumerate(levels):
+            t0 = s * seg
+            points.append((t0, level))
+            points.append(((s + 0.98) * seg, level))
+        points.append((t_stop, float(levels[-1])))
+        waveforms.append(PWL(points))
+    if spec is None:
+        spec = PoolingCircuitSpec(vdd=vdd)
+    return _run(f"fig5-ext-{n_inputs}-inputs", tuple(waveforms), spec, t_stop, dt)
+
+
+def dc_sweep_bench(
+    n_inputs: int,
+    n_points: int = 11,
+    vdd: float = 1.0,
+    spec: PoolingCircuitSpec | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """DC transfer curve: all inputs tied together and swept 0..VDD.
+
+    Returns:
+        ``(input_levels, avg_voltages)`` arrays — useful for extracting the
+        circuit's static gain/offset used by the behavioral sensor model.
+    """
+    if spec is None:
+        spec = PoolingCircuitSpec(vdd=vdd)
+    levels = np.linspace(0.0, vdd, n_points)
+    outputs = np.zeros(n_points)
+    for idx, level in enumerate(levels):
+        circuit = build_pooling_circuit(
+            [DC(float(level))] * n_inputs, spec=spec, title="dc-sweep"
+        )
+        solution = MNASolver(circuit).dc()
+        outputs[idx] = solution[AVG_NODE]
+    return levels, outputs

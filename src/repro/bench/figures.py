@@ -1,0 +1,112 @@
+"""ASCII chart rendering: the harness's stand-in for the paper's figures.
+
+Benchmarks regenerate each figure as (a) the underlying series printed as a
+table/CSV and (b) a quick ASCII chart for eyeballing shape.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Args:
+        values: label -> value (non-negative).
+        width: bar width of the maximum value.
+        unit: appended to the numeric annotation.
+        title: chart heading.
+    """
+    if not values:
+        return title
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * (int(round(value / vmax * width)) if vmax > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str] | None = None,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Multi-series line chart drawn with per-series glyphs.
+
+    Args:
+        series: name -> y values (all the same length).
+        x_labels: optional tick labels (first and last are printed).
+        height: chart rows.
+        width: chart columns.
+        title: heading.
+        logy: log-scale the y axis (useful for memory/energy curves).
+    """
+    if not series:
+        return title
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("series need at least two points")
+
+    glyphs = "*o+x@%&$"
+    all_vals = np.array([v for vs in series.values() for v in vs], dtype=float)
+    if logy:
+        if np.any(all_vals <= 0):
+            raise ValueError("logy requires positive values")
+        all_vals = np.log10(all_vals)
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[s_idx % len(glyphs)]
+        ys_arr = np.asarray(ys, dtype=float)
+        if logy:
+            ys_arr = np.log10(ys_arr)
+        for i, y in enumerate(ys_arr):
+            col = int(round(i * (width - 1) / (n - 1)))
+            row = int(round((hi - y) / span * (height - 1)))
+            grid[row][col] = glyph
+
+    lines = [title] if title else []
+    axis_hi = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    axis_lo = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    pad = max(len(axis_hi), len(axis_lo))
+    for r, row in enumerate(grid):
+        label = axis_hi if r == 0 else (axis_lo if r == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    if x_labels:
+        footer = f"{x_labels[0]} ... {x_labels[-1]}"
+        lines.append(" " * (pad + 2) + footer)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)
+
+
+def series_csv(
+    series: Mapping[str, Sequence[float]], x_labels: Sequence[str]
+) -> str:
+    """CSV dump of chart series, x labels in the first column."""
+    names = list(series)
+    out = [",".join(["x"] + names)]
+    for i, x in enumerate(x_labels):
+        out.append(",".join([str(x)] + [f"{series[n][i]:.6g}" for n in names]))
+    return "\n".join(out)

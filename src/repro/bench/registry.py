@@ -1,0 +1,93 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Maps each experiment to its description and the benchmark that regenerates
+it, so documentation and tooling have a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper.
+
+    Attributes:
+        exp_id: e.g. "table2" or "fig7".
+        paper_ref: table/figure reference in the paper.
+        description: what the artifact shows.
+        bench: path of the benchmark that regenerates it.
+        modules: main implementing modules.
+    """
+
+    exp_id: str
+    paper_ref: str
+    description: str
+    bench: str
+    modules: tuple[str, ...]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in (
+        Experiment(
+            "table1",
+            "Table 1",
+            "Analytical data-transfer/memory/ADC relations, HiRISE vs conventional",
+            "benchmarks/bench_table1_analytical.py",
+            ("repro.core.costs",),
+        ),
+        Experiment(
+            "table2",
+            "Table 2",
+            "Stage-1 mAP: in-processor vs in-sensor scaling, RGB vs gray, 3 resolutions x 3 datasets",
+            "benchmarks/bench_table2_accuracy.py",
+            ("repro.datasets", "repro.sensor", "repro.ml"),
+        ),
+        Experiment(
+            "fig5",
+            "Fig. 5",
+            "SPICE-style transients of the analog averaging circuit (2/4/192 inputs)",
+            "benchmarks/bench_fig5_circuit.py",
+            ("repro.analog",),
+        ),
+        Experiment(
+            "fig6",
+            "Fig. 6",
+            "Two-stage peak memory vs pixel-array size, in-processor vs in-sensor",
+            "benchmarks/bench_fig6_memory.py",
+            ("repro.memory", "repro.core"),
+        ),
+        Experiment(
+            "fig7",
+            "Fig. 7",
+            "Median data transfer vs pixel-array size for pooling 2/4/8 vs baseline",
+            "benchmarks/bench_fig7_data_transfer.py",
+            ("repro.transfer", "repro.core", "repro.datasets"),
+        ),
+        Experiment(
+            "fig8",
+            "Fig. 8",
+            "Median sensor energy under pooling levels, RGB and grayscale",
+            "benchmarks/bench_fig8_energy.py",
+            ("repro.core.energy", "repro.datasets"),
+        ),
+        Experiment(
+            "table3",
+            "Table 3",
+            "End-to-end: ROI, accuracy, SRAM, transfer, energy across 8 array sizes",
+            "benchmarks/bench_table3_end_to_end.py",
+            ("repro.core", "repro.memory", "repro.ml", "repro.datasets"),
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment; raises ``KeyError`` with the known ids."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[exp_id]

@@ -1,0 +1,300 @@
+"""End-to-end pipelines: HiRISE and the conventional baseline.
+
+:class:`HiRISEPipeline` wires the substrates together exactly as the
+paper's Fig. 3 dataflow:
+
+1. expose the scene onto an analog :class:`~repro.sensor.PixelArray`;
+2. **stage 1** — analog grayscale/pooling in the sensor, ADC of the pooled
+   frame only, transfer to the processor, run the stage-1 detector;
+3. feed the ROI descriptors back to the sensor (D1 P->S);
+4. **stage 2** — selective full-resolution readout of the ROIs, transfer,
+   and (optionally) run the stage-2 task model on each crop.
+
+:class:`ConventionalPipeline` is the baseline: convert and ship the whole
+frame, then run the models on the processor.
+
+Both produce a :class:`PipelineOutcome` carrying the images *and* the
+measured transfer/energy/memory accounting, so every number in Tables 1/3
+and Figs. 6-8 can be read off a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sensor import ADCModel, AnalogPoolingModel, NoiseModel, PixelArray, SensorReadout
+from ..transfer import TransferLedger, LinkModel
+from .config import HiRISEConfig
+from .energy import EnergyBreakdown, EnergyModel
+from .roi import ROI, prepare_rois
+
+#: A detector is anything mapping a frame to detection-like objects.
+Detector = Callable[[np.ndarray], Sequence]
+#: A classifier maps an RGB crop to an arbitrary prediction.
+Classifier = Callable[[np.ndarray], object]
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything one pipeline run produced and cost.
+
+    Attributes:
+        system: "hirise" or "conventional".
+        array_resolution: ``(width, height)`` of the pixel array.
+        stage1_image: the frame the stage-1 model saw (pooled for HiRISE,
+            full for the baseline).
+        rois: conditioned ROIs in array coordinates.
+        roi_crops: full-resolution digital crops aligned with ``rois``
+            (for the baseline these are digital crops of the full frame).
+        predictions: per-crop stage-2 outputs (when a classifier ran).
+        detections: raw stage-1 detections in stage-1 frame coordinates.
+        ledger: link-transfer accounting.
+        energy: sensor energy breakdown.
+        stage1_conversions / stage2_conversions: ADC conversion counts.
+        peak_image_memory_bytes: max resident image memory on the processor
+            (Table 1 Eq. 2 — model activations are accounted separately by
+            :mod:`repro.memory`).
+    """
+
+    system: str
+    array_resolution: tuple[int, int]
+    stage1_image: np.ndarray
+    rois: list[ROI] = field(default_factory=list)
+    roi_crops: list[np.ndarray] = field(default_factory=list)
+    predictions: list[object] = field(default_factory=list)
+    detections: list[object] = field(default_factory=list)
+    ledger: TransferLedger = field(default_factory=TransferLedger)
+    energy: EnergyBreakdown = field(default_factory=lambda: EnergyBreakdown(0.0, 0.0))
+    stage1_conversions: int = 0
+    stage2_conversions: int = 0
+    peak_image_memory_bytes: int = 0
+
+    def report(self) -> str:
+        """Human-readable one-run summary."""
+        w, h = self.array_resolution
+        lines = [
+            f"[{self.system}] {w}x{h} pixel array",
+            f"  stage-1 frame: {self.stage1_image.shape}",
+            f"  ROIs read out: {len(self.rois)}"
+            + (f" (e.g. {self.rois[0].xywh})" if self.rois else ""),
+            f"  data transfer: {self.ledger.total_bytes / 1024:.1f} kB "
+            f"(S->P1 {self.ledger.stage1_s2p / 1024:.1f}, "
+            f"P->S {self.ledger.stage1_p2s} B, "
+            f"S->P2 {self.ledger.stage2_s2p / 1024:.1f})",
+            f"  ADC conversions: stage1={self.stage1_conversions:,} "
+            f"stage2={self.stage2_conversions:,}",
+            f"  sensor energy: {self.energy.total_mj:.4f} mJ",
+            f"  peak image memory: {self.peak_image_memory_bytes / 1024:.1f} kB",
+        ]
+        return "\n".join(lines)
+
+
+def _build_readout(
+    image_or_array: np.ndarray | PixelArray,
+    adc_bits: int,
+    noise: NoiseModel | None,
+    pooling_model: AnalogPoolingModel | None,
+    frame_seed: int,
+) -> SensorReadout:
+    if isinstance(image_or_array, PixelArray):
+        array = image_or_array
+    else:
+        array = PixelArray.from_image(
+            image_or_array, noise=noise or NoiseModel.noiseless()
+        )
+    return SensorReadout(
+        array=array,
+        adc=ADCModel(bits=adc_bits, v_ref=array.vdd),
+        pooling=pooling_model or AnalogPoolingModel(),
+        frame_seed=frame_seed,
+    )
+
+
+@dataclass
+class HiRISEPipeline:
+    """The proposed system (paper Figs. 2b and 3).
+
+    Attributes:
+        detector: stage-1 model run on the pooled frame; must return
+            detection-like objects (``x/y/w/h/score/label``).  May be
+            ``None`` when ``rois`` are passed to :meth:`run` directly
+            (analytical experiments).
+        classifier: optional stage-2 model applied to each ROI crop.
+        config: system configuration.
+        energy_model: energy coefficients.
+        noise: sensor noise model baked into exposures.
+        pooling_model: behavioral analog pooling model.
+        link: physical link model for the ledger.
+    """
+
+    detector: Detector | None = None
+    classifier: Classifier | None = None
+    config: HiRISEConfig = field(default_factory=HiRISEConfig)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    noise: NoiseModel | None = None
+    pooling_model: AnalogPoolingModel | None = None
+    link: LinkModel = field(default_factory=LinkModel)
+
+    def run(
+        self,
+        image: np.ndarray | PixelArray,
+        rois: Sequence[ROI] | None = None,
+        frame_seed: int = 0,
+    ) -> PipelineOutcome:
+        """Process one exposure end to end.
+
+        Args:
+            image: scene image (``(H, W, 3)`` uint8/float) or an existing
+                :class:`PixelArray`.
+            rois: override the stage-1 detector with known ROIs (in array
+                coordinates); required when no detector is configured.
+            frame_seed: temporal-noise seed for this exposure.
+
+        Returns:
+            :class:`PipelineOutcome`.
+        """
+        cfg = self.config
+        readout = _build_readout(
+            image, cfg.adc_bits, self.noise, self.pooling_model, frame_seed
+        )
+        array = readout.array
+        ledger = TransferLedger(link=self.link)
+
+        # -- Stage 1: in-sensor compression + detection ----------------------
+        stage1 = readout.read_compressed(cfg.pool_k, grayscale=cfg.grayscale_stage1)
+        ledger.add_stage1_frame(stage1.data_bytes)
+
+        detections: list[object] = []
+        if rois is None:
+            if self.detector is None:
+                raise ValueError("pipeline has no detector; pass rois= explicitly")
+            detections = list(self.detector(stage1.images))
+            candidates = [
+                ROI.from_detection(d, scale=cfg.pool_k)
+                for d in detections
+                if getattr(d, "score", 1.0) >= cfg.score_threshold
+            ]
+        else:
+            candidates = list(rois)
+
+        conditioned = prepare_rois(
+            candidates,
+            array.width,
+            array.height,
+            pad_fraction=cfg.roi_pad_fraction,
+            min_side_px=cfg.min_roi_px,
+            max_rois=cfg.max_rois,
+            drop_contained=cfg.dedup_contained,
+            merge_iou=cfg.merge_roi_iou,
+        )
+        ledger.add_roi_descriptors(len(conditioned))
+
+        # -- Stage 2: selective readout + task model -------------------------
+        stage2 = readout.read_rois(conditioned, dedup_contained=False)
+        ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
+
+        predictions: list[object] = []
+        if self.classifier is not None:
+            predictions = [self.classifier(crop) for crop in stage2.images]
+
+        energy = self.energy_model.from_conversions(
+            stage1_conversions=stage1.conversions,
+            stage2_conversions=stage2.conversions,
+            pooled_outputs=stage1.conversions,
+        )
+        # Eq. 2: the pooled frame is dropped before stage-2 crops arrive;
+        # crops are processed one at a time, so the largest crop bounds M2.
+        largest_crop = max((c.size for c in stage2.images), default=0)
+        peak_memory = max(stage1.data_bytes, largest_crop)
+
+        return PipelineOutcome(
+            system="hirise",
+            array_resolution=array.resolution,
+            stage1_image=stage1.images,
+            rois=conditioned,
+            roi_crops=list(stage2.images),
+            predictions=predictions,
+            detections=detections,
+            ledger=ledger,
+            energy=energy,
+            stage1_conversions=stage1.conversions,
+            stage2_conversions=stage2.conversions,
+            peak_image_memory_bytes=peak_memory,
+        )
+
+
+@dataclass
+class ConventionalPipeline:
+    """The baseline (paper Fig. 2a): convert and ship everything.
+
+    Attributes mirror :class:`HiRISEPipeline` minus the in-sensor knobs.
+    """
+
+    detector: Detector | None = None
+    classifier: Classifier | None = None
+    adc_bits: int = 8
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    noise: NoiseModel | None = None
+    link: LinkModel = field(default_factory=LinkModel)
+
+    def run(
+        self,
+        image: np.ndarray | PixelArray,
+        rois: Sequence[ROI] | None = None,
+        frame_seed: int = 0,
+    ) -> PipelineOutcome:
+        """Process one exposure: full-frame conversion, then on-CPU models.
+
+        Args:
+            image: scene image or :class:`PixelArray`.
+            rois: optional known ROIs; the baseline crops them *digitally*
+                from the full frame (no transfer saving — it already moved
+                the whole image).
+            frame_seed: temporal-noise seed.
+
+        Returns:
+            :class:`PipelineOutcome`.
+        """
+        readout = _build_readout(image, self.adc_bits, self.noise, None, frame_seed)
+        array = readout.array
+        ledger = TransferLedger(link=self.link)
+
+        full = readout.read_full()
+        ledger.add_stage1_frame(full.data_bytes)
+
+        detections: list[object] = []
+        if rois is None and self.detector is not None:
+            detections = list(self.detector(full.images))
+            candidates = [ROI.from_detection(d) for d in detections]
+        else:
+            candidates = list(rois or [])
+
+        conditioned = prepare_rois(candidates, array.width, array.height)
+        crops = [
+            np.ascontiguousarray(
+                full.images[r.y : r.y + r.h, r.x : r.x + r.w, :]
+            )
+            for r in conditioned
+        ]
+        predictions: list[object] = []
+        if self.classifier is not None:
+            predictions = [self.classifier(crop) for crop in crops]
+
+        energy = self.energy_model.conventional_frame(array.width, array.height)
+        return PipelineOutcome(
+            system="conventional",
+            array_resolution=array.resolution,
+            stage1_image=full.images,
+            rois=conditioned,
+            roi_crops=crops,
+            predictions=predictions,
+            detections=detections,
+            ledger=ledger,
+            energy=energy,
+            stage1_conversions=0,
+            stage2_conversions=full.conversions,
+            peak_image_memory_bytes=full.data_bytes,
+        )

@@ -1,0 +1,99 @@
+"""Comparison reports: HiRISE vs conventional, in paper-style units."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pipeline import PipelineOutcome
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count.
+
+    Uses decimal units (1 kB = 1000 B), matching the paper's tables (their
+    2560x1920 baseline of 14,745,600 B is printed as 14,746 kB).
+    """
+    if n < 1000:
+        return f"{n:.0f} B"
+    if n < 1000**2:
+        return f"{n / 1000:.1f} kB"
+    return f"{n / 1000**2:.2f} MB"
+
+
+def format_energy(joules: float) -> str:
+    """Human-readable energy (paper uses mJ and nJ)."""
+    if joules >= 1e-3:
+        return f"{joules * 1e3:.3f} mJ"
+    if joules >= 1e-6:
+        return f"{joules * 1e6:.2f} uJ"
+    return f"{joules * 1e9:.2f} nJ"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Reduction factors of HiRISE over the baseline for one scene.
+
+    Attributes:
+        transfer_reduction: baseline / HiRISE total link bytes.
+        energy_reduction: baseline / HiRISE sensor energy.
+        memory_reduction: baseline / HiRISE peak image memory.
+        conversion_reduction: baseline / HiRISE ADC conversions.
+    """
+
+    transfer_reduction: float
+    energy_reduction: float
+    memory_reduction: float
+    conversion_reduction: float
+
+
+def compare(hirise: PipelineOutcome, baseline: PipelineOutcome) -> Comparison:
+    """Reduction factors between two pipeline outcomes on the same scene.
+
+    Raises:
+        ValueError: when the outcomes come from different array sizes or
+            the systems are swapped.
+    """
+    if hirise.system != "hirise" or baseline.system != "conventional":
+        raise ValueError("expected (hirise, conventional) outcomes in that order")
+    if hirise.array_resolution != baseline.array_resolution:
+        raise ValueError("outcomes are from different pixel-array sizes")
+
+    def ratio(old: float, new: float) -> float:
+        return old / new if new > 0 else float("inf")
+
+    baseline_conversions = baseline.stage1_conversions + baseline.stage2_conversions
+    hirise_conversions = hirise.stage1_conversions + hirise.stage2_conversions
+    return Comparison(
+        transfer_reduction=ratio(baseline.ledger.total_bytes, hirise.ledger.total_bytes),
+        energy_reduction=ratio(baseline.energy.total, hirise.energy.total),
+        memory_reduction=ratio(
+            baseline.peak_image_memory_bytes, hirise.peak_image_memory_bytes
+        ),
+        conversion_reduction=ratio(baseline_conversions, hirise_conversions),
+    )
+
+
+def comparison_report(hirise: PipelineOutcome, baseline: PipelineOutcome) -> str:
+    """Side-by-side text report for one scene."""
+    cmp = compare(hirise, baseline)
+    rows = [
+        ("data transfer", format_bytes(baseline.ledger.total_bytes),
+         format_bytes(hirise.ledger.total_bytes), cmp.transfer_reduction),
+        ("sensor energy", format_energy(baseline.energy.total),
+         format_energy(hirise.energy.total), cmp.energy_reduction),
+        ("peak image memory", format_bytes(baseline.peak_image_memory_bytes),
+         format_bytes(hirise.peak_image_memory_bytes), cmp.memory_reduction),
+        ("ADC conversions",
+         f"{baseline.stage1_conversions + baseline.stage2_conversions:,}",
+         f"{hirise.stage1_conversions + hirise.stage2_conversions:,}",
+         cmp.conversion_reduction),
+    ]
+    w, h = hirise.array_resolution
+    lines = [
+        f"HiRISE vs conventional @ {w}x{h} "
+        f"({len(hirise.rois)} ROIs read out)",
+        f"  {'metric':<20}{'baseline':>14}{'hirise':>14}{'reduction':>12}",
+    ]
+    for name, old, new, red in rows:
+        lines.append(f"  {name:<20}{old:>14}{new:>14}{red:>10.1f}x")
+    return "\n".join(lines)

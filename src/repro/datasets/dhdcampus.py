@@ -1,0 +1,30 @@
+"""DHDCampus-like synthetic dataset (campus scenes, person + cyclist).
+
+Stand-in for Pang et al., *TJU-DHD: A Diverse High-Resolution Dataset for
+Object Detection* (TIP 2021), campus subset: high-resolution outdoor scenes
+annotated with exactly two classes, person and cyclist.
+"""
+
+from __future__ import annotations
+
+from .profiles import DHDCAMPUS_LIKE
+from .scene import Scene, SceneGenerator
+
+
+def dhdcampus_like(
+    n_images: int,
+    resolution: tuple[int, int] = (2560, 1920),
+    seed: int = 0,
+) -> list[Scene]:
+    """Generate DHDCampus-like scenes.
+
+    Args:
+        n_images: number of frames.
+        resolution: ``(width, height)`` of the pixel array.
+        seed: dataset seed.
+
+    Returns:
+        List of :class:`~repro.datasets.scene.Scene` with ``person`` and
+        ``cyclist`` boxes.
+    """
+    return SceneGenerator(DHDCAMPUS_LIKE, resolution, seed).generate(n_images)

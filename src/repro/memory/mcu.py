@@ -1,0 +1,67 @@
+"""Microcontroller profiles: the memory budgets models must fit within."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analyzer import MemoryReport
+
+
+@dataclass(frozen=True)
+class MCUProfile:
+    """One target device.
+
+    Attributes:
+        name: marketing name.
+        sram_bytes: on-chip SRAM available for activations + image buffers.
+        flash_bytes: program/weight flash.
+    """
+
+    name: str
+    sram_bytes: int
+    flash_bytes: int
+
+    @property
+    def sram_kb(self) -> float:
+        return self.sram_bytes / 1024.0
+
+    @property
+    def flash_kb(self) -> float:
+        return self.flash_bytes / 1024.0
+
+    def fits(
+        self,
+        reports: list[MemoryReport],
+        extra_sram_bytes: int = 0,
+    ) -> bool:
+        """Can these models co-reside (time-multiplexed) on the device?
+
+        SRAM is checked against the worst single model's peak plus any
+        persistent buffer (e.g. an image held across stages); flash must
+        hold all models simultaneously.
+
+        Args:
+            reports: per-model memory reports.
+            extra_sram_bytes: persistent SRAM (image/frame buffers).
+        """
+        if not reports:
+            return extra_sram_bytes <= self.sram_bytes
+        peak = max(r.peak_sram_bytes for r in reports) + extra_sram_bytes
+        flash = sum(r.flash_bytes for r in reports)
+        return peak <= self.sram_bytes and flash <= self.flash_bytes
+
+    def sram_headroom(self, reports: list[MemoryReport]) -> int:
+        """Free SRAM bytes with all models resident (can be negative)."""
+        peak = max((r.peak_sram_bytes for r in reports), default=0)
+        return self.sram_bytes - peak
+
+
+#: The paper's case-study device (Arm Cortex-M7, Sec. 4.2).
+STM32H743 = MCUProfile("STM32H743", sram_bytes=512 * 1024, flash_bytes=2 * 1024 * 1024)
+
+#: Additional common tinyML targets for the memory-budget example.
+STM32F746 = MCUProfile("STM32F746", sram_bytes=320 * 1024, flash_bytes=1024 * 1024)
+NRF52840 = MCUProfile("nRF52840", sram_bytes=256 * 1024, flash_bytes=1024 * 1024)
+STM32F411 = MCUProfile("STM32F411", sram_bytes=128 * 1024, flash_bytes=512 * 1024)
+
+ALL_MCUS = (STM32H743, STM32F746, NRF52840, STM32F411)

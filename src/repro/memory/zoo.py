@@ -1,0 +1,177 @@
+"""Model zoo: faithful op-graph descriptions of the paper's models.
+
+Three architectures appear in the paper's memory study (Sec. 4.2, Fig. 6,
+Table 3):
+
+* **MobileNetV2** (Sandler et al. 2018) — built here exactly from the
+  published inverted-residual table, parameterized by input size and width
+  multiplier.
+* **MCUNetV2 classifier** (Lin et al. 2021) — an MCU-scale inverted-residual
+  network; we use a width/depth-reduced MobileNet-style configuration in the
+  published MCUNet design space, with the patch-based-inference option
+  exposed through :func:`repro.memory.analyzer.analyze_patched`.
+* **MCUNetV2 person detector** — the stage-1 model: the same backbone at
+  320x240 input with a lightweight grid head instead of the classifier head.
+
+Exact MCUNetV2 hyper-parameters are the product of the authors' NAS and are
+not fully published; the configurations here land in the same memory regime
+the paper reports (hundreds-of-kB peak SRAM, ~300 kB / ~1 MB flash) and
+scale with input resolution the same way, which is what Fig. 6 and Table 3
+measure.  EXPERIMENTS.md records our measured values against the paper's.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .ops import Activation, Add, Conv, Dense, DepthwiseConv, GlobalPool, TensorShape
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts the way the MobileNetV2 reference code does."""
+    new_v = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_v < 0.9 * value:
+        new_v += divisor
+    return new_v
+
+
+def _inverted_residual(
+    graph: ModelGraph,
+    tensor: str,
+    prefix: str,
+    in_c: int,
+    out_c: int,
+    stride: int,
+    expand: int,
+) -> str:
+    """Append one inverted-residual block; returns the output tensor name."""
+    hidden = in_c * expand
+    t = tensor
+    if expand != 1:
+        t = graph.add(f"{prefix}_expand", Conv(hidden, kernel=1), [t])
+        t = graph.add(f"{prefix}_expand_relu", Activation("relu6"), [t])
+    t = graph.add(f"{prefix}_dw", DepthwiseConv(kernel=3, stride=stride), [t])
+    t = graph.add(f"{prefix}_dw_relu", Activation("relu6"), [t])
+    t = graph.add(f"{prefix}_project", Conv(out_c, kernel=1), [t])
+    if stride == 1 and in_c == out_c:
+        t = graph.add(f"{prefix}_add", Add(), [tensor, t])
+    return t
+
+
+#: MobileNetV2 inverted-residual settings: (expand, channels, repeats, stride).
+MOBILENETV2_SETTINGS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenetv2(
+    input_hw: tuple[int, int] = (112, 112),
+    n_classes: int = 7,
+    width_mult: float = 1.0,
+    in_channels: int = 3,
+) -> ModelGraph:
+    """The published MobileNetV2 as an analysis graph.
+
+    Args:
+        input_hw: input ``(height, width)``.
+        n_classes: classifier classes.
+        width_mult: channel width multiplier (paper uses 1.0).
+        in_channels: input channels (3 for RGB ROI crops).
+
+    Returns:
+        :class:`~repro.memory.graph.ModelGraph`.
+    """
+    h, w = input_hw
+    g = ModelGraph(f"mobilenetv2-{w}x{h}", TensorShape(h, w, in_channels))
+    stem_c = _make_divisible(32 * width_mult)
+    t = g.add("stem", Conv(stem_c, kernel=3, stride=2))
+    t = g.add("stem_relu", Activation("relu6"), [t])
+    in_c = stem_c
+    for stage, (expand, channels, repeats, stride) in enumerate(MOBILENETV2_SETTINGS):
+        out_c = _make_divisible(channels * width_mult)
+        for rep in range(repeats):
+            t = _inverted_residual(
+                g, t, f"b{stage}_{rep}", in_c, out_c, stride if rep == 0 else 1, expand
+            )
+            in_c = out_c
+    head_c = _make_divisible(1280 * max(width_mult, 1.0))
+    t = g.add("head", Conv(head_c, kernel=1), [t])
+    t = g.add("head_relu", Activation("relu6"), [t])
+    t = g.add("gap", GlobalPool(), [t])
+    g.add("logits", Dense(n_classes), [t])
+    return g
+
+
+#: MCUNetV2-flavored settings (reduced widths/depths, NAS-regime).
+MCUNETV2_SETTINGS = (
+    (1, 16, 1, 1),
+    (4, 24, 2, 2),
+    (4, 40, 2, 2),
+    (4, 80, 3, 2),
+    (4, 96, 2, 1),
+    (4, 192, 2, 2),
+)
+
+
+def mcunetv2_classifier(
+    input_hw: tuple[int, int] = (112, 112),
+    n_classes: int = 7,
+    in_channels: int = 3,
+) -> ModelGraph:
+    """MCUNetV2-like image classifier (the paper's stage-2 budget model)."""
+    h, w = input_hw
+    g = ModelGraph(f"mcunetv2-cls-{w}x{h}", TensorShape(h, w, in_channels))
+    t = g.add("stem", Conv(16, kernel=3, stride=2))
+    t = g.add("stem_relu", Activation("relu6"), [t])
+    in_c = 16
+    for stage, (expand, channels, repeats, stride) in enumerate(MCUNETV2_SETTINGS):
+        for rep in range(repeats):
+            t = _inverted_residual(
+                g, t, f"b{stage}_{rep}", in_c, channels, stride if rep == 0 else 1, expand
+            )
+            in_c = channels
+    t = g.add("head", Conv(512, kernel=1), [t])
+    t = g.add("head_relu", Activation("relu6"), [t])
+    t = g.add("gap", GlobalPool(), [t])
+    g.add("logits", Dense(n_classes), [t])
+    return g
+
+
+#: Number of leading ops that MCUNetV2 runs patch-based.  Counting nodes:
+#: stem + relu (2), b0_0 (3 ops, expand=1), b1_0 and b1_1 (5 ops each),
+#: b2_0 (5 ops) -> 20 nodes, ending exactly at the b2_0 projection, whose
+#: output is the (small) stride-8 feature map — a clean block boundary.
+MCUNETV2_PATCH_OPS = 20
+
+
+def mcunetv2_detector(
+    input_hw: tuple[int, int] = (240, 320),
+    n_classes: int = 1,
+    in_channels: int = 3,
+) -> ModelGraph:
+    """MCUNetV2-like person detector (the paper's stage-1 model).
+
+    Same backbone family as the classifier, with a convolutional grid head
+    emitting ``5 + n_classes`` values per cell (objectness, box, classes) —
+    the output format of :class:`repro.ml.detector.grid.GridDetector`.
+    """
+    h, w = input_hw
+    g = ModelGraph(f"mcunetv2-det-{w}x{h}", TensorShape(h, w, in_channels))
+    t = g.add("stem", Conv(16, kernel=3, stride=2))
+    t = g.add("stem_relu", Activation("relu6"), [t])
+    in_c = 16
+    for stage, (expand, channels, repeats, stride) in enumerate(MCUNETV2_SETTINGS):
+        for rep in range(repeats):
+            t = _inverted_residual(
+                g, t, f"b{stage}_{rep}", in_c, channels, stride if rep == 0 else 1, expand
+            )
+            in_c = channels
+    t = g.add("neck", Conv(64, kernel=1), [t])
+    t = g.add("neck_relu", Activation("relu6"), [t])
+    g.add("det_head", Conv(5 + n_classes, kernel=1), [t])
+    return g

@@ -1,0 +1,56 @@
+"""NumPy ML substrate: layers/training, detectors, classifiers, evaluation."""
+
+from .classifier.cnn import (
+    mcunetv2_like_classifier,
+    mobilenetv2_like_classifier,
+    tiny_cnn,
+)
+from .classifier.features import (
+    CLASSIFIER_PRESETS,
+    HOGClassifier,
+    SoftmaxRegression,
+    hog_features,
+)
+from .detector.classical import ClassTemplate, CorrelationDetector
+from .detector.grid import GridDetector, GridDetectorConfig
+from .eval import (
+    Detection,
+    MAPResult,
+    average_precision,
+    classification_accuracy,
+    evaluate_detections,
+    iou_matrix,
+    nms,
+)
+from .image import crop_padded, ensure_channels, resize_bilinear, to_gray
+from .model import Sequential
+from .train import TrainHistory, fit_classifier, predict_classifier
+
+__all__ = [
+    "CLASSIFIER_PRESETS",
+    "ClassTemplate",
+    "CorrelationDetector",
+    "Detection",
+    "GridDetector",
+    "GridDetectorConfig",
+    "HOGClassifier",
+    "MAPResult",
+    "Sequential",
+    "SoftmaxRegression",
+    "TrainHistory",
+    "average_precision",
+    "classification_accuracy",
+    "crop_padded",
+    "ensure_channels",
+    "evaluate_detections",
+    "fit_classifier",
+    "hog_features",
+    "iou_matrix",
+    "mcunetv2_like_classifier",
+    "mobilenetv2_like_classifier",
+    "nms",
+    "predict_classifier",
+    "resize_bilinear",
+    "tiny_cnn",
+    "to_gray",
+]

@@ -1,0 +1,14 @@
+"""Stage-2 classifiers: HOG + linear (fast) and tiny CNNs (trainable)."""
+
+from .cnn import mcunetv2_like_classifier, mobilenetv2_like_classifier, tiny_cnn
+from .features import CLASSIFIER_PRESETS, HOGClassifier, SoftmaxRegression, hog_features
+
+__all__ = [
+    "CLASSIFIER_PRESETS",
+    "HOGClassifier",
+    "SoftmaxRegression",
+    "hog_features",
+    "mcunetv2_like_classifier",
+    "mobilenetv2_like_classifier",
+    "tiny_cnn",
+]

@@ -1,0 +1,12 @@
+"""Stage-1 detectors: deterministic correlation matching and a trainable grid CNN."""
+
+from .classical import ClassTemplate, CorrelationDetector, featurize
+from .grid import GridDetector, GridDetectorConfig
+
+__all__ = [
+    "ClassTemplate",
+    "CorrelationDetector",
+    "GridDetector",
+    "GridDetectorConfig",
+    "featurize",
+]

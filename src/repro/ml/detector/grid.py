@@ -1,0 +1,231 @@
+"""Trainable single-scale grid detector (a mini-YOLO in NumPy).
+
+This is the *learned* counterpart of the classical correlation detector: a
+small CNN that divides the input into an S x S grid and predicts, per cell,
+``[objectness, dx, dy, log w, log h, class logits...]`` — YOLOv1-style with
+a single box per cell.  It exists to make the stage-1 slot fully trainable
+end to end (as the paper's YOLOv8-nano is), and is exercised by tests and
+the examples; the Table 2 benchmark uses the deterministic correlation
+detector for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.boxes import nms
+from ..eval.metrics import Detection
+from ..layers import BatchNorm, Conv2D, ReLU
+from ..losses import binary_cross_entropy_with_logits, sigmoid, softmax
+from ..model import Sequential
+from ..optim import Adam
+
+
+def _backbone(n_out: int, seed: int) -> Sequential:
+    """Three stride-2 conv stages (downsample x8) plus a 1x1 head."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(3, 8, kernel=3, stride=2, rng=rng),
+            BatchNorm(8),
+            ReLU(),
+            Conv2D(8, 16, kernel=3, stride=2, rng=rng),
+            BatchNorm(16),
+            ReLU(),
+            Conv2D(16, 32, kernel=3, stride=2, rng=rng),
+            BatchNorm(32),
+            ReLU(),
+            Conv2D(32, n_out, kernel=1, stride=1, pad=0, rng=rng),
+        ]
+    )
+
+
+@dataclass
+class GridDetectorConfig:
+    """Hyper-parameters of the grid detector.
+
+    Attributes:
+        input_hw: training/inference input ``(height, width)``; both must be
+            divisible by the stride (8).
+        classes: class labels.
+        score_threshold: objectness cutoff at decode time.
+        nms_iou: decode-time NMS threshold.
+        lambda_box: box-loss weight.
+        lambda_noobj: negative-cell objectness weight.
+    """
+
+    input_hw: tuple[int, int]
+    classes: tuple[str, ...]
+    score_threshold: float = 0.35
+    nms_iou: float = 0.45
+    lambda_box: float = 5.0
+    lambda_noobj: float = 0.3
+
+
+class GridDetector:
+    """Single-box-per-cell grid detector with built-in training loop."""
+
+    STRIDE = 8
+
+    def __init__(self, config: GridDetectorConfig, seed: int = 0):
+        h, w = config.input_hw
+        if h % self.STRIDE or w % self.STRIDE:
+            raise ValueError(f"input dims must divide {self.STRIDE}")
+        self.config = config
+        self.grid_h = h // self.STRIDE
+        self.grid_w = w // self.STRIDE
+        self.n_classes = len(config.classes)
+        self.net = _backbone(5 + self.n_classes, seed)
+
+    # -- targets ---------------------------------------------------------------------
+
+    def encode_targets(self, annotations: list) -> np.ndarray:
+        """Build the ``(gh, gw, 5+C)`` target tensor for one image.
+
+        Each GT box is assigned to the cell containing its center; later
+        boxes overwrite earlier ones in the rare collision case.
+        """
+        target = np.zeros((self.grid_h, self.grid_w, 5 + self.n_classes))
+        for gt in annotations:
+            x, y, w, h = gt.xywh
+            if w <= 0 or h <= 0:
+                continue
+            cx, cy = x + w / 2.0, y + h / 2.0
+            gx = int(cx / self.STRIDE)
+            gy = int(cy / self.STRIDE)
+            if not (0 <= gx < self.grid_w and 0 <= gy < self.grid_h):
+                continue
+            try:
+                cls = self.config.classes.index(gt.label)
+            except ValueError:
+                continue
+            target[gy, gx, 0] = 1.0
+            target[gy, gx, 1] = cx / self.STRIDE - gx
+            target[gy, gx, 2] = cy / self.STRIDE - gy
+            target[gy, gx, 3] = np.log(max(w, 1.0))
+            target[gy, gx, 4] = np.log(max(h, 1.0))
+            target[gy, gx, 5:] = 0.0
+            target[gy, gx, 5 + cls] = 1.0
+        return target
+
+    # -- loss --------------------------------------------------------------------------
+
+    def loss_and_grad(
+        self, preds: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """YOLOv1-style composite loss on raw head outputs.
+
+        Args:
+            preds: ``(N, gh, gw, 5+C)`` raw network output.
+            targets: matching target tensor from :meth:`encode_targets`.
+
+        Returns:
+            ``(loss, grad_wrt_preds)``.
+        """
+        obj_mask = targets[..., 0:1]
+        cfg = self.config
+        grad = np.zeros_like(preds)
+
+        # Objectness BCE, weighted down on empty cells.
+        weights = obj_mask + cfg.lambda_noobj * (1.0 - obj_mask)
+        obj_loss, obj_grad = binary_cross_entropy_with_logits(
+            preds[..., 0:1], targets[..., 0:1], weight=weights
+        )
+        grad[..., 0:1] = obj_grad
+
+        # Box terms only on positive cells: sigmoid on offsets, raw log-size.
+        n_pos = max(float(obj_mask.sum()), 1.0)
+        off_pred = sigmoid(preds[..., 1:3])
+        off_diff = (off_pred - targets[..., 1:3]) * obj_mask
+        box_loss = float(np.sum(off_diff**2)) / n_pos
+        grad[..., 1:3] = cfg.lambda_box * 2.0 * off_diff * off_pred * (1 - off_pred) / n_pos
+
+        size_diff = (preds[..., 3:5] - targets[..., 3:5]) * obj_mask
+        size_loss = float(np.sum(size_diff**2)) / n_pos
+        grad[..., 3:5] = cfg.lambda_box * 2.0 * size_diff / n_pos
+
+        # Class cross-entropy on positive cells.
+        cls_loss = 0.0
+        if self.n_classes > 0:
+            probs = softmax(preds[..., 5:], axis=-1)
+            cls_grad = (probs - targets[..., 5:]) * obj_mask / n_pos
+            pos = obj_mask[..., 0] > 0
+            if np.any(pos):
+                eps = 1e-12
+                cls_loss = -float(
+                    np.sum(targets[..., 5:][pos] * np.log(probs[pos] + eps))
+                ) / n_pos
+            grad[..., 5:] = cls_grad
+
+        total = obj_loss + cfg.lambda_box * (box_loss + size_loss) + cls_loss
+        return total, grad
+
+    # -- training ---------------------------------------------------------------------
+
+    def fit(
+        self,
+        images: np.ndarray,
+        annotations: list[list],
+        epochs: int = 30,
+        batch_size: int = 8,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train on ``(N, H, W, 3)`` images with per-image GT lists.
+
+        Returns:
+            Per-epoch mean losses.
+        """
+        if images.shape[1:3] != self.config.input_hw:
+            raise ValueError(
+                f"images are {images.shape[1:3]}, expected {self.config.input_hw}"
+            )
+        targets = np.stack([self.encode_targets(a) for a in annotations])
+        optimizer = Adam(self.net.params(), lr=lr)
+        rng = np.random.default_rng(seed)
+        losses: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(images.shape[0])
+            epoch_loss = 0.0
+            for i in range(0, len(order), batch_size):
+                idx = order[i : i + batch_size]
+                preds = self.net.forward(images[idx], training=True)
+                loss, grad = self.loss_and_grad(preds, targets[idx])
+                self.net.zero_grad()
+                self.net.backward(grad)
+                optimizer.step()
+                epoch_loss += loss * len(idx)
+            losses.append(epoch_loss / images.shape[0])
+        return losses
+
+    # -- inference ---------------------------------------------------------------------
+
+    def detect(self, image: np.ndarray) -> list[Detection]:
+        """Decode detections for one ``(H, W, 3)`` image."""
+        preds = self.net.forward(image[None], training=False)[0]
+        obj = sigmoid(preds[..., 0])
+        offs = sigmoid(preds[..., 1:3])
+        sizes = np.exp(np.clip(preds[..., 3:5], -2.0, 8.0))
+        cls_probs = softmax(preds[..., 5:], axis=-1)
+
+        boxes: list[tuple[float, float, float, float]] = []
+        scores: list[float] = []
+        labels: list[str] = []
+        ys, xs = np.nonzero(obj >= self.config.score_threshold)
+        for gy, gx in zip(ys, xs):
+            cx = (gx + offs[gy, gx, 0]) * self.STRIDE
+            cy = (gy + offs[gy, gx, 1]) * self.STRIDE
+            w, h = sizes[gy, gx]
+            cls = int(np.argmax(cls_probs[gy, gx]))
+            boxes.append((cx - w / 2.0, cy - h / 2.0, float(w), float(h)))
+            scores.append(float(obj[gy, gx] * cls_probs[gy, gx, cls]))
+            labels.append(self.config.classes[cls])
+        if not boxes:
+            return []
+        keep = nms(np.asarray(boxes), np.asarray(scores), self.config.nms_iou)
+        return [
+            Detection(labels[i], scores[i], *boxes[i])
+            for i in keep
+        ]

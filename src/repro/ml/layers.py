@@ -1,0 +1,394 @@
+"""Neural-network layers with forward/backward passes, in pure NumPy.
+
+This is the training/inference substrate standing in for the paper's
+PyTorch/TFLite toolchain.  Layout is NHWC throughout (batch, height, width,
+channels) — the same layout TFLite-Micro uses on the MCUs the paper targets.
+
+Every layer implements:
+
+* ``forward(x, training=False)`` — returns the output and caches whatever
+  the backward pass needs;
+* ``backward(grad_out)`` — returns the gradient w.r.t. the input and
+  accumulates parameter gradients into each :class:`Param`;
+* ``params()`` — the trainable :class:`Param` objects.
+
+Convolutions use im2col via ``numpy.lib.stride_tricks.sliding_window_view``
+so they are vectorized end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+@dataclass
+class Param:
+    """A trainable tensor and its accumulated gradient."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+    name: str = "param"
+
+    def __post_init__(self) -> None:
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer: stateless by default."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def params(self) -> list[Param]:
+        return []
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training)
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return rng.standard_normal(shape) * np.sqrt(2.0 / max(fan_in, 1))
+
+
+def _pad_nhwc(x: np.ndarray, pad: int) -> np.ndarray:
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution, NHWC, square kernel, symmetric padding.
+
+    Args:
+        in_channels: input channel count.
+        out_channels: filter count.
+        kernel: kernel side length.
+        stride: spatial stride.
+        pad: symmetric zero padding ("same" for stride 1 when
+            ``pad = kernel // 2``).
+        rng: initializer generator (He normal).
+        bias: include a bias term.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int | None = None,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        fan_in = kernel * kernel * in_channels
+        self.w = Param(
+            _he_init(rng, (kernel, kernel, in_channels, out_channels), fan_in),
+            name="conv_w",
+        )
+        self.b = Param(np.zeros(out_channels), name="conv_b") if bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        xp = _pad_nhwc(x, self.pad)
+        k, s = self.kernel, self.stride
+        windows = sliding_window_view(xp, (k, k), axis=(1, 2))[:, ::s, ::s]
+        # windows: (N, OH, OW, C, k, k) -> reorder to (N, OH, OW, k, k, C)
+        windows = windows.transpose(0, 1, 2, 4, 5, 3)
+        n, oh, ow = windows.shape[:3]
+        cols = windows.reshape(n, oh, ow, -1)
+        w_mat = self.w.value.reshape(-1, self.w.value.shape[-1])
+        out = cols @ w_mat
+        if self.b is not None:
+            out += self.b.value
+        if training:
+            self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, cols = self._cache
+        n, oh, ow, _ = grad_out.shape
+        k, s = self.kernel, self.stride
+        w_mat = self.w.value.reshape(-1, self.w.value.shape[-1])
+
+        grad_flat = grad_out.reshape(-1, grad_out.shape[-1])
+        cols_flat = cols.reshape(-1, cols.shape[-1])
+        self.w.grad += (cols_flat.T @ grad_flat).reshape(self.w.value.shape)
+        if self.b is not None:
+            self.b.grad += grad_flat.sum(axis=0)
+
+        grad_cols = (grad_flat @ w_mat.T).reshape(n, oh, ow, k, k, -1)
+        # Scatter-add the column gradients back to the padded input.
+        hp, wp = x_shape[1] + 2 * self.pad, x_shape[2] + 2 * self.pad
+        grad_xp = np.zeros((n, hp, wp, x_shape[3]))
+        for ki in range(k):
+            for kj in range(k):
+                grad_xp[:, ki : ki + oh * s : s, kj : kj + ow * s : s, :] += grad_cols[
+                    :, :, :, ki, kj, :
+                ]
+        if self.pad:
+            grad_xp = grad_xp[:, self.pad : -self.pad, self.pad : -self.pad, :]
+        self._cache = None
+        return grad_xp
+
+    def params(self) -> list[Param]:
+        return [self.w] + ([self.b] if self.b is not None else [])
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution (one filter per input channel), NHWC."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        self.w = Param(
+            _he_init(rng, (kernel, kernel, channels), kernel * kernel), name="dwconv_w"
+        )
+        self.b = Param(np.zeros(channels), name="dwconv_b")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        xp = _pad_nhwc(x, self.pad)
+        k, s = self.kernel, self.stride
+        windows = sliding_window_view(xp, (k, k), axis=(1, 2))[:, ::s, ::s]
+        # (N, OH, OW, C, k, k); weights (k, k, C) -> einsum over k,k per C.
+        out = np.einsum("nhwckl,klc->nhwc", windows, self.w.value)
+        out += self.b.value
+        if training:
+            self._cache = (x.shape, windows)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_shape, windows = self._cache
+        k, s = self.kernel, self.stride
+        n, oh, ow, c = grad_out.shape
+        self.w.grad += np.einsum("nhwckl,nhwc->klc", windows, grad_out)
+        self.b.grad += grad_out.sum(axis=(0, 1, 2))
+
+        hp, wp = x_shape[1] + 2 * self.pad, x_shape[2] + 2 * self.pad
+        grad_xp = np.zeros((n, hp, wp, c))
+        for ki in range(k):
+            for kj in range(k):
+                grad_xp[:, ki : ki + oh * s : s, kj : kj + ow * s : s, :] += (
+                    grad_out * self.w.value[ki, kj, :]
+                )
+        if self.pad:
+            grad_xp = grad_xp[:, self.pad : -self.pad, self.pad : -self.pad, :]
+        self._cache = None
+        return grad_xp
+
+    def params(self) -> list[Param]:
+        return [self.w, self.b]
+
+
+class ReLU(Layer):
+    """Rectified linear unit; ``cap`` turns it into ReLU6-style clipping."""
+
+    def __init__(self, cap: float | None = None):
+        self.cap = cap
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if self.cap is not None:
+            out = np.minimum(out, self.cap)
+        if training:
+            self._mask = (x > 0.0) if self.cap is None else ((x > 0.0) & (x < self.cap))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        grad = grad_out * self._mask
+        self._mask = None
+        return grad
+
+
+def relu6() -> ReLU:
+    """The MobileNet activation."""
+    return ReLU(cap=6.0)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping k x k max pooling (input sides must divide by k)."""
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("pool size must be >= 1")
+        self.k = k
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, h, w, c = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) must divide pool size {k}")
+        blocks = x.reshape(n, h // k, k, w // k, k, c)
+        out = blocks.max(axis=(2, 4))
+        if training:
+            self._cache = (x, out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x, out = self._cache
+        n, h, w, c = x.shape
+        k = self.k
+        upsampled = np.repeat(np.repeat(out, k, axis=1), k, axis=2)
+        mask = x == upsampled
+        grad_up = np.repeat(np.repeat(grad_out, k, axis=1), k, axis=2)
+        # Split ties evenly so the gradient stays well-defined.
+        counts = (
+            mask.reshape(n, h // k, k, w // k, k, c)
+            .sum(axis=(2, 4), keepdims=True)
+            .reshape(n, h // k, 1, w // k, 1, c)
+        )
+        counts_up = np.repeat(np.repeat(counts.reshape(n, h // k, w // k, c), k, 1), k, 2)
+        self._cache = None
+        return grad_up * mask / np.maximum(counts_up, 1)
+
+
+class GlobalAvgPool(Layer):
+    """Average over the spatial dimensions: NHWC -> NC."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, h, w, c = self._shape
+        self._shape = None
+        return np.broadcast_to(grad_out[:, None, None, :], (n, h, w, c)) / (h * w)
+
+
+class Flatten(Layer):
+    """NHWC -> N(HWC)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        shape = self._shape
+        self._shape = None
+        return grad_out.reshape(shape)
+
+
+class Dense(Layer):
+    """Fully connected layer: NC_in -> NC_out."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.w = Param(_he_init(rng, (in_features, out_features), in_features), name="dense_w")
+        self.b = Param(np.zeros(out_features), name="dense_b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.w.value + self.b.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.w.grad += self._x.T @ grad_out
+        self.b.grad += grad_out.sum(axis=0)
+        grad_in = grad_out @ self.w.value.T
+        self._x = None
+        return grad_in
+
+    def params(self) -> list[Param]:
+        return [self.w, self.b]
+
+
+class BatchNorm(Layer):
+    """Batch normalization over all axes except the last (channel) axis.
+
+    Works for both NHWC feature maps and NC vectors.  Uses batch statistics
+    during training and exponential running statistics at inference.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = Param(np.ones(channels), name="bn_gamma")
+        self.beta = Param(np.zeros(channels), name="bn_beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        x_hat = (x - mean) / np.sqrt(var + self.eps)
+        if training:
+            self._cache = (x_hat, var, axes)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x_hat, var, axes = self._cache
+        m = float(np.prod([grad_out.shape[a] for a in axes]))
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = grad_out * self.gamma.value
+        grad_in = (
+            g - g.mean(axis=axes) - x_hat * (g * x_hat).mean(axis=axes)
+        ) / np.sqrt(var + self.eps)
+        # Note: the (m-1)/m Bessel factor is ignored, standard in practice.
+        del m
+        self._cache = None
+        return grad_in
+
+    def params(self) -> list[Param]:
+        return [self.gamma, self.beta]

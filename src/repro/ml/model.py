@@ -1,0 +1,70 @@
+"""Sequential model container for the NumPy layer stack."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .layers import Layer, Param
+
+
+class Sequential(Layer):
+    """A chain of layers executed in order.
+
+    >>> import numpy as np
+    >>> from repro.ml.layers import Dense, ReLU
+    >>> net = Sequential([Dense(4, 8), ReLU(), Dense(8, 2)])
+    >>> net(np.zeros((3, 4))).shape
+    (3, 2)
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def params(self) -> list[Param]:
+        out: list[Param] = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def zero_grad(self) -> None:
+        for param in self.params():
+            param.zero_grad()
+
+    # -- (de)serialization ---------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameter snapshot keyed by position and name."""
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params()):
+                state[f"{i}.{j}.{param.name}"] = param.value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        for i, layer in enumerate(self.layers):
+            for j, param in enumerate(layer.params()):
+                key = f"{i}.{j}.{param.name}"
+                if key not in state:
+                    raise KeyError(f"missing parameter {key} in state dict")
+                if state[key].shape != param.value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{state[key].shape} vs {param.value.shape}"
+                    )
+                param.value[...] = state[key]
+
+    def n_parameters(self) -> int:
+        return int(sum(p.value.size for p in self.params()))

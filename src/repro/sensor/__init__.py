@@ -1,0 +1,39 @@
+"""Behavioral image-sensor model (the HiRISE in-sensor compression unit).
+
+Public surface: :class:`PixelArray`, :class:`NoiseModel`, :class:`ADCModel`,
+:class:`AnalogPoolingModel`, :class:`SensorReadout` plus the grayscale and
+pooling primitives.
+"""
+
+from .adc import ADC_ENERGY_45NM_8BIT, ADCModel
+from .grayscale import LUMA_WEIGHTS, analog_grayscale, digital_grayscale
+from .noise import NoiseModel
+from .pixel_array import PixelArray
+from .pooling import AnalogPoolingModel, block_reduce_mean, digital_avg_pool
+from .readout import (
+    ReadoutResult,
+    SensorReadout,
+    as_box,
+    clip_box,
+    merge_covered_boxes,
+)
+from .timing import ReadoutTimingModel
+
+__all__ = [
+    "ADC_ENERGY_45NM_8BIT",
+    "ADCModel",
+    "AnalogPoolingModel",
+    "LUMA_WEIGHTS",
+    "NoiseModel",
+    "PixelArray",
+    "ReadoutResult",
+    "ReadoutTimingModel",
+    "SensorReadout",
+    "analog_grayscale",
+    "as_box",
+    "block_reduce_mean",
+    "clip_box",
+    "digital_avg_pool",
+    "digital_grayscale",
+    "merge_covered_boxes",
+]

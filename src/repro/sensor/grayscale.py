@@ -1,0 +1,45 @@
+"""Analog and digital grayscale conversion.
+
+HiRISE's optional grayscale step merges the three color channels *in the
+analog domain* by wiring the R, G and B pixels of a site into the averaging
+circuit together — so in-sensor grayscale is the **unweighted mean** of the
+three channels.  In-processor (digital) grayscale conventionally uses the
+ITU-R BT.601 luma weights.  The two therefore differ slightly; the paper
+handles this by retraining the stage-1 model on the grayscale it will see,
+and our Table 2 bench mirrors that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ITU-R BT.601 luma weights used by the digital (in-processor) path.
+LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def analog_grayscale(voltages: np.ndarray) -> np.ndarray:
+    """Unweighted channel mean — what the charge-sharing circuit computes.
+
+    Args:
+        voltages: ``(H, W, 3)`` analog voltages.
+
+    Returns:
+        ``(H, W)`` merged voltages.
+    """
+    if voltages.ndim != 3 or voltages.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {voltages.shape}")
+    return voltages.mean(axis=2)
+
+
+def digital_grayscale(image: np.ndarray) -> np.ndarray:
+    """BT.601 luma conversion — what an in-processor pipeline computes.
+
+    Args:
+        image: ``(H, W, 3)`` digital image (any float scale).
+
+    Returns:
+        ``(H, W)`` luma image in the same scale.
+    """
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3), got {image.shape}")
+    return image @ LUMA_WEIGHTS

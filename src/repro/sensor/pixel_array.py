@@ -1,0 +1,127 @@
+"""The analog pixel array: where photons live before any ADC conversion.
+
+A :class:`PixelArray` holds the *analog* voltages produced by a photodiode +
+source-follower front end for one exposure.  Everything HiRISE does in the
+sensor — grayscale merging, k x k pooling, selective ROI readout — operates
+on these voltages; nothing becomes digital until an :class:`~repro.sensor.adc.ADCModel`
+converts it.
+
+The optical model is deliberately simple and linear: a scene image with
+values in [0, 1] maps to voltages in [0, vdd] with per-pixel PRNU/DSNU
+fixed-pattern deviations applied once at exposure time.  Real sensors add
+gamma and color filter array effects downstream of the ADC; those do not
+change any of the paper's comparisons, which all happen pre-demosaic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .noise import NoiseModel
+
+
+@dataclass
+class PixelArray:
+    """Analog pixel voltages for one exposure.
+
+    Attributes:
+        voltages: float64 array of shape ``(height, width, 3)`` in volts.
+        vdd: full-scale voltage (a pixel seeing full-scale light sits at
+            ``vdd``).
+        noise: the sensor's noise model (fixed-pattern part already applied
+            to ``voltages``; the temporal part is sampled at each readout).
+    """
+
+    voltages: np.ndarray
+    vdd: float = 1.0
+    noise: NoiseModel = field(default_factory=NoiseModel.noiseless)
+
+    def __post_init__(self) -> None:
+        if self.voltages.ndim != 3 or self.voltages.shape[2] != 3:
+            raise ValueError(
+                f"voltages must have shape (H, W, 3), got {self.voltages.shape}"
+            )
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_image(
+        cls,
+        image: np.ndarray,
+        vdd: float = 1.0,
+        noise: NoiseModel | None = None,
+    ) -> "PixelArray":
+        """Expose the array to a scene image.
+
+        Args:
+            image: ``(H, W, 3)`` array; uint8 images are scaled by 1/255,
+                float images must already be in [0, 1].
+            vdd: full-scale voltage.
+            noise: noise model; fixed-pattern (PRNU gain / DSNU offset)
+                deviations are baked into the stored voltages here, because
+                they are properties of the silicon, not of a readout.
+
+        Returns:
+            A new :class:`PixelArray`.
+        """
+        if image.ndim == 2:
+            image = np.repeat(image[:, :, None], 3, axis=2)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError(f"image must be (H, W, 3) or (H, W), got {image.shape}")
+        if image.dtype == np.uint8:
+            scene = image.astype(np.float64) / 255.0
+        else:
+            scene = np.asarray(image, dtype=np.float64)
+            if scene.size and (scene.min() < -1e-9 or scene.max() > 1.0 + 1e-9):
+                raise ValueError("float image values must lie in [0, 1]")
+        noise = noise or NoiseModel.noiseless()
+        voltages = scene * vdd
+        if not noise.is_noiseless():
+            gain, offset = noise.fixed_pattern_maps(voltages.shape)
+            voltages = voltages * gain + offset
+        voltages = np.clip(voltages, 0.0, vdd)
+        return cls(voltages=voltages, vdd=vdd, noise=noise)
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return int(self.voltages.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.voltages.shape[1])
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """``(width, height)`` — note the paper's ``n x m`` is width x height."""
+        return (self.width, self.height)
+
+    @property
+    def n_sites(self) -> int:
+        """Total analog pixel sites (3 color channels per spatial location)."""
+        return self.height * self.width * 3
+
+    # -- raw access -----------------------------------------------------------------
+
+    def region(self, x: int, y: int, w: int, h: int) -> np.ndarray:
+        """Analog voltages of an axis-aligned region (no bounds forgiveness).
+
+        Args:
+            x, y: top-left corner in pixels.
+            w, h: region width and height in pixels.
+
+        Raises:
+            ValueError: if the region is empty or falls outside the array.
+        """
+        if w <= 0 or h <= 0:
+            raise ValueError("region must have positive size")
+        if x < 0 or y < 0 or x + w > self.width or y + h > self.height:
+            raise ValueError(
+                f"region ({x},{y},{w},{h}) outside {self.width}x{self.height} array"
+            )
+        return self.voltages[y : y + h, x : x + w, :]

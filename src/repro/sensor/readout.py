@@ -1,0 +1,219 @@
+"""Sensor readout paths: full frame, compressed (pooled), and selective ROI.
+
+This module is the sensor-side half of the HiRISE dataflow (paper Fig. 3):
+
+* :meth:`SensorReadout.read_full` — the conventional baseline: convert every
+  analog site and ship the whole frame.
+* :meth:`SensorReadout.read_compressed` — stage 1: analog grayscale/pooling
+  first, then convert only the pooled outputs.
+* :meth:`SensorReadout.read_rois` — stage 2: the ROI *encoder*; given the
+  bounding boxes returned by the stage-1 model it selects only those rows/
+  columns of the analog array, converts them at full resolution, and ships
+  the crops.
+
+Every read returns a :class:`ReadoutResult` that accounts for conversions,
+bytes on the link, and energy — the quantities Tables 1/3 and Figs. 6-8 are
+built from.  Boxes are duck-typed: anything with ``x, y, w, h`` attributes
+(e.g. :class:`repro.core.ROI`) or a 4-tuple works, keeping this substrate
+independent of the core package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..analog.pooling_circuit import PoolingEnergyModel
+from .adc import ADCModel
+from .noise import NoiseModel
+from .pixel_array import PixelArray
+from .pooling import AnalogPoolingModel
+
+
+def as_box(obj) -> tuple[int, int, int, int]:
+    """Coerce an ROI-like object into an integer ``(x, y, w, h)`` tuple."""
+    if hasattr(obj, "x"):
+        return int(obj.x), int(obj.y), int(obj.w), int(obj.h)
+    x, y, w, h = obj
+    return int(x), int(y), int(w), int(h)
+
+
+def clip_box(
+    box: tuple[int, int, int, int], width: int, height: int
+) -> tuple[int, int, int, int] | None:
+    """Clip a box to the array bounds; ``None`` if nothing remains."""
+    x, y, w, h = box
+    x0, y0 = max(x, 0), max(y, 0)
+    x1, y1 = min(x + w, width), min(y + h, height)
+    if x1 <= x0 or y1 <= y0:
+        return None
+    return x0, y0, x1 - x0, y1 - y0
+
+
+def merge_covered_boxes(
+    boxes: Sequence[tuple[int, int, int, int]]
+) -> list[tuple[int, int, int, int]]:
+    """Drop boxes fully contained in another box (duplicate readout).
+
+    The paper notes stage-2 transfer is "the intersection over the union of
+    all the ROI boxes": overlapping regions need not be read twice.  A full
+    rectangular-union readout would fragment crops, so the encoder model
+    implements the practical version — containment dedup — and the cost
+    model exposes the exact union area separately (see
+    :func:`repro.core.roi.union_area`).
+    """
+    kept: list[tuple[int, int, int, int]] = []
+    order = sorted(boxes, key=lambda b: b[2] * b[3], reverse=True)
+    for box in order:
+        x, y, w, h = box
+        contained = any(
+            x >= kx and y >= ky and x + w <= kx + kw and y + h <= ky + kh
+            for kx, ky, kw, kh in kept
+        )
+        if not contained:
+            kept.append(box)
+    return kept
+
+
+@dataclass
+class ReadoutResult:
+    """One readout transaction from sensor to processor.
+
+    Attributes:
+        images: digital image(s) in [0, 1]; a single array for frame reads,
+            a list of crops for ROI reads.
+        conversions: number of ADC conversions performed.
+        data_bytes: bytes shipped over the link (conversions x sample bytes).
+        adc_energy: joules spent in the ADC.
+        pooling_energy: joules spent in the analog pooling circuitry
+            (zero for non-pooled reads).
+        boxes: for ROI reads, the clipped boxes actually read.
+    """
+
+    images: object
+    conversions: int
+    data_bytes: int
+    adc_energy: float
+    pooling_energy: float = 0.0
+    boxes: list[tuple[int, int, int, int]] = field(default_factory=list)
+
+    @property
+    def total_energy(self) -> float:
+        return self.adc_energy + self.pooling_energy
+
+
+@dataclass
+class SensorReadout:
+    """Binds a pixel array to its converter and compression circuitry.
+
+    Attributes:
+        array: the exposed analog pixel array.
+        adc: converter model (defaults to the paper's 8-bit / 125 pJ).
+        pooling: behavioral analog pooling model.
+        pooling_energy: energy model of the pooling circuit.
+        frame_seed: seed for per-readout temporal noise.
+    """
+
+    array: PixelArray
+    adc: ADCModel = field(default_factory=ADCModel)
+    pooling: AnalogPoolingModel = field(default_factory=AnalogPoolingModel)
+    pooling_energy: PoolingEnergyModel = field(default_factory=PoolingEnergyModel)
+    frame_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if abs(self.adc.v_ref - self.array.vdd) > 1e-12:
+            raise ValueError(
+                f"ADC full scale ({self.adc.v_ref} V) must match the pixel "
+                f"array vdd ({self.array.vdd} V)"
+            )
+        self._readout_counter = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _rng(self) -> np.random.Generator:
+        self._readout_counter += 1
+        return np.random.default_rng((self.frame_seed, self._readout_counter))
+
+    def _digitize(self, voltages: np.ndarray) -> tuple[np.ndarray, int]:
+        rng = self._rng()
+        noisy = voltages + self.array.noise.temporal_noise(
+            voltages, self.array.vdd, rng
+        )
+        return self.adc.digitize(noisy, rng=rng), int(noisy.size)
+
+    # -- readout paths ------------------------------------------------------------
+
+    def read_full(self) -> ReadoutResult:
+        """Conventional baseline: convert and ship the entire RGB frame."""
+        image, n = self._digitize(self.array.voltages)
+        return ReadoutResult(
+            images=image,
+            conversions=n,
+            data_bytes=n * self.adc.bytes_per_sample(),
+            adc_energy=self.adc.energy(n),
+        )
+
+    def read_compressed(self, k: int, grayscale: bool = False) -> ReadoutResult:
+        """Stage 1: analog-pool (optionally grayscale-merge), then convert.
+
+        Args:
+            k: pooling size; the output is ``(H//k, W//k)`` spatial.
+            grayscale: merge color channels in the analog domain as well.
+
+        Returns:
+            :class:`ReadoutResult` whose ``images`` is the pooled frame
+            (2-D if grayscale, else ``(H//k, W//k, 3)``).
+        """
+        pooled_v = self.pooling.pool(
+            self.array.voltages, k, self.array.vdd, grayscale=grayscale
+        )
+        image, n = self._digitize(pooled_v)
+        return ReadoutResult(
+            images=image,
+            conversions=n,
+            data_bytes=n * self.adc.bytes_per_sample(),
+            adc_energy=self.adc.energy(n),
+            pooling_energy=self.pooling_energy.frame_energy(n),
+        )
+
+    def read_rois(
+        self,
+        rois: Iterable[object],
+        dedup_contained: bool = True,
+    ) -> ReadoutResult:
+        """Stage 2: selective full-resolution readout of the given boxes.
+
+        Args:
+            rois: ROI-like objects or ``(x, y, w, h)`` tuples, in *pixel
+                array* coordinates.
+            dedup_contained: drop boxes fully contained in another before
+                reading (the encoder's duplicate suppression).
+
+        Returns:
+            :class:`ReadoutResult` whose ``images`` is a list of RGB crops
+            aligned with ``result.boxes``.
+        """
+        clipped: list[tuple[int, int, int, int]] = []
+        for roi in rois:
+            box = clip_box(as_box(roi), self.array.width, self.array.height)
+            if box is not None:
+                clipped.append(box)
+        if dedup_contained:
+            clipped = merge_covered_boxes(clipped)
+
+        crops: list[np.ndarray] = []
+        conversions = 0
+        for x, y, w, h in clipped:
+            crop_v = self.array.region(x, y, w, h)
+            crop, n = self._digitize(crop_v)
+            crops.append(crop)
+            conversions += n
+        return ReadoutResult(
+            images=crops,
+            conversions=conversions,
+            data_bytes=conversions * self.adc.bytes_per_sample(),
+            adc_energy=self.adc.energy(conversions),
+            boxes=clipped,
+        )

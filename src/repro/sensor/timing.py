@@ -1,0 +1,112 @@
+"""Readout timing: how long each HiRISE phase takes on the sensor.
+
+The paper quantifies energy and bytes; deployments also care about frame
+latency (challenge 2 mentions "latency overheads").  This model covers the
+sensor-side timeline with three rates:
+
+* **row time** — activating one pixel row onto the column lines (row
+  select + settling), paid once per *row* touched, whether the row is read
+  fully or only across an ROI's columns;
+* **ADC throughput** — conversions per second across the column-parallel
+  converter array;
+* **link bandwidth** — bytes per second off the sensor.
+
+Phases overlap poorly in simple sensors, so the model reports both the
+conservative sequential latency and the conversion-limited lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ReadoutTimingModel:
+    """Sensor timing parameters.
+
+    Attributes:
+        row_time_s: time to select and settle one row (s).
+        conversions_per_s: aggregate ADC sample rate (column-parallel).
+        link_bytes_per_s: serializer bandwidth off the sensor.
+        stage1_feedback_s: fixed latency of the processor->sensor ROI
+            descriptor write (tiny; paid once per frame in stage 2).
+    """
+
+    row_time_s: float = 5e-6
+    conversions_per_s: float = 250e6
+    link_bytes_per_s: float = 100e6
+    stage1_feedback_s: float = 2e-6
+
+    def _phase(self, rows: int, conversions: int, data_bytes: int) -> float:
+        if rows < 0 or conversions < 0 or data_bytes < 0:
+            raise ValueError("timing inputs must be non-negative")
+        return (
+            rows * self.row_time_s
+            + conversions / self.conversions_per_s
+            + data_bytes / self.link_bytes_per_s
+        )
+
+    def full_frame_s(self, width: int, height: int, sample_bytes: int = 1) -> float:
+        """Conventional baseline: read, convert and ship every site."""
+        conversions = width * height * 3
+        return self._phase(height, conversions, conversions * sample_bytes)
+
+    def pooled_frame_s(
+        self,
+        width: int,
+        height: int,
+        k: int,
+        grayscale: bool = False,
+        sample_bytes: int = 1,
+    ) -> float:
+        """Stage 1: rows are activated in k-row groups (charge sharing), and
+        only the pooled outputs are converted and shipped."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        rows = height // k
+        channels = 1 if grayscale else 3
+        conversions = (width // k) * (height // k) * channels
+        return self._phase(rows, conversions, conversions * sample_bytes)
+
+    def roi_readout_s(
+        self,
+        rois: Sequence[tuple[int, int, int, int]],
+        sample_bytes: int = 1,
+    ) -> float:
+        """Stage 2: every ROI pays its own row activations and conversions.
+
+        Rows shared by horizontally-adjacent ROIs are conservatively
+        counted per ROI (a simple selection encoder re-activates rows per
+        window).
+        """
+        total = self.stage1_feedback_s
+        for x, y, w, h in rois:
+            if w < 0 or h < 0:
+                raise ValueError("ROI dimensions must be non-negative")
+            conversions = w * h * 3
+            total += self._phase(h, conversions, conversions * sample_bytes)
+        return total
+
+    def hirise_frame_s(
+        self,
+        width: int,
+        height: int,
+        k: int,
+        rois: Sequence[tuple[int, int, int, int]],
+        grayscale: bool = False,
+    ) -> float:
+        """Both HiRISE phases, sequential (stage 1 then feedback + ROIs)."""
+        return self.pooled_frame_s(width, height, k, grayscale) + self.roi_readout_s(rois)
+
+    def speedup_vs_baseline(
+        self,
+        width: int,
+        height: int,
+        k: int,
+        rois: Sequence[tuple[int, int, int, int]],
+        grayscale: bool = False,
+    ) -> float:
+        """Baseline latency / HiRISE latency (>1 means HiRISE is faster)."""
+        hirise = self.hirise_frame_s(width, height, k, rois, grayscale)
+        return self.full_frame_s(width, height) / hirise if hirise > 0 else float("inf")

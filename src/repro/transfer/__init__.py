@@ -1,0 +1,22 @@
+"""Sensor <-> processor transfer accounting."""
+
+from .link import (
+    LinkModel,
+    TransferLedger,
+    WORD_BYTES,
+    WORDS_PER_ROI,
+    roi_descriptor_bytes,
+)
+from .packets import PacketStats, packet_stats, roi_payload_bytes, split_into_mtu
+
+__all__ = [
+    "LinkModel",
+    "PacketStats",
+    "TransferLedger",
+    "WORD_BYTES",
+    "WORDS_PER_ROI",
+    "packet_stats",
+    "roi_descriptor_bytes",
+    "roi_payload_bytes",
+    "split_into_mtu",
+]

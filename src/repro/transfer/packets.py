@@ -1,0 +1,63 @@
+"""Packetization helpers: how frames and ROI crops map onto link packets.
+
+The paper reports *median packet size* (the W x H of ROIs) in Sec. 4.3;
+these helpers compute packet statistics for a stream of transfers so the
+Fig. 7 bench can report the same quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PacketStats:
+    """Statistics over a sequence of logical transfers.
+
+    Attributes:
+        n_packets: number of transfers.
+        total_bytes: sum of payload bytes.
+        median_bytes: median payload size.
+        max_bytes: largest payload.
+    """
+
+    n_packets: int
+    total_bytes: int
+    median_bytes: float
+    max_bytes: int
+
+
+def packet_stats(payload_sizes: list[int]) -> PacketStats:
+    """Summarize a list of payload byte counts."""
+    if not payload_sizes:
+        return PacketStats(0, 0, 0.0, 0)
+    arr = np.asarray(payload_sizes, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("payload sizes must be non-negative")
+    return PacketStats(
+        n_packets=int(arr.size),
+        total_bytes=int(arr.sum()),
+        median_bytes=float(np.median(arr)),
+        max_bytes=int(arr.max()),
+    )
+
+
+def split_into_mtu(payload_bytes: int, mtu_bytes: int) -> int:
+    """Number of MTU-sized packets needed for one payload."""
+    if mtu_bytes < 1:
+        raise ValueError("mtu_bytes must be >= 1")
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if payload_bytes == 0:
+        return 0
+    return ceil(payload_bytes / mtu_bytes)
+
+
+def roi_payload_bytes(w: int, h: int, channels: int = 3, sample_bytes: int = 1) -> int:
+    """Payload bytes of one ROI crop transfer."""
+    if w < 0 or h < 0:
+        raise ValueError("ROI dimensions must be non-negative")
+    return w * h * channels * sample_bytes

@@ -1,0 +1,99 @@
+"""Tests for the Fig. 5 test benches (the paper's circuit validation)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    dc_sweep_bench,
+    fit_tracking,
+    four_input_bench,
+    many_input_bench,
+    two_input_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5a():
+    return two_input_bench()
+
+
+@pytest.fixture(scope="module")
+def fig5b():
+    return four_input_bench()
+
+
+class TestTwoInputBench:
+    def test_tracks_mean_with_half_gain(self, fig5a):
+        """The resistor core halves the mean; SFs shift it down."""
+        assert fig5a.fit.gain == pytest.approx(0.5, abs=0.05)
+
+    def test_tracking_error_small(self, fig5a):
+        """Paper: the Avg signal 'follows the variations' cleanly."""
+        assert fig5a.fit.relative_rmse < 0.02
+
+    def test_region2_flat_average(self, fig5a):
+        """Opposing slopes (region 2) -> near-zero slope on Avg."""
+        t = fig5a.time
+        avg = fig5a.avg
+        t1, t2 = t[-1] / 3.0, 2.0 * t[-1] / 3.0
+        mask = (t > t1 * 1.1) & (t < t2 * 0.9)
+        region = avg[mask]
+        assert np.ptp(region) < 0.05 * np.ptp(avg)
+
+    def test_region1_follows_ramping_input(self, fig5a):
+        """Input 2 ramps alone in region 1 -> Avg rises monotonically."""
+        t = fig5a.time
+        avg = fig5a.avg
+        mask = (t > t[-1] / 30) & (t < t[-1] / 3 * 0.95)
+        region = avg[mask]
+        assert region[-1] > region[0]
+        # Mostly monotone (small solver ripple tolerated).
+        assert np.mean(np.diff(region) >= -1e-4) > 0.95
+
+
+class TestFourInputBench:
+    def test_gain_still_half(self, fig5b):
+        assert fig5b.fit.gain == pytest.approx(0.5, abs=0.06)
+
+    def test_peak_when_all_inputs_high(self, fig5b):
+        """Paper annotation 1: Avg peaks when all inputs are at VDD."""
+        inputs = fig5b.input_matrix()
+        means = inputs.mean(axis=0)
+        peak_at = int(np.argmax(fig5b.avg))
+        assert means[peak_at] == pytest.approx(means.max(), abs=0.05)
+
+    def test_trough_when_all_inputs_low(self, fig5b):
+        """Paper annotation 2: Avg bottoms when all inputs are zero."""
+        inputs = fig5b.input_matrix()
+        means = inputs.mean(axis=0)
+        trough_at = int(np.argmin(fig5b.avg))
+        assert means[trough_at] == pytest.approx(means.min(), abs=0.05)
+
+    def test_avg_visits_multiple_levels(self, fig5b):
+        """Binary counting through 4 inputs -> >= 4 distinct avg plateaus."""
+        quantized = np.round(fig5b.avg, 2)
+        assert len(np.unique(quantized)) >= 4
+
+
+class TestManyInputBench:
+    def test_192_inputs_flawless(self):
+        """The paper's extension: 192 inputs, still clean tracking."""
+        bench = many_input_bench(n_inputs=192, t_stop=2e-4, dt=1e-5)
+        assert bench.fit.relative_rmse < 0.05
+        assert bench.fit.gain == pytest.approx(0.5, abs=0.08)
+
+    def test_small_variant_deterministic(self):
+        a = many_input_bench(n_inputs=8, seed=5, t_stop=1e-4, dt=5e-6)
+        b = many_input_bench(n_inputs=8, seed=5, t_stop=1e-4, dt=5e-6)
+        assert np.allclose(a.avg, b.avg)
+
+
+class TestDCSweep:
+    def test_transfer_curve_monotone(self):
+        levels, outputs = dc_sweep_bench(n_inputs=4, n_points=7)
+        assert np.all(np.diff(outputs) > 0)
+
+    def test_fit_tracking_settle_fraction(self):
+        bench = two_input_bench()
+        fit_late = fit_tracking(bench.result, bench.input_waveforms, settle_fraction=0.5)
+        assert fit_late.gain == pytest.approx(bench.fit.gain, abs=0.1)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic scenes, arrays, and datasets.
+
+Everything here is session-scoped and seeded — generating scenes is the
+most expensive part of the suite, so tests share them read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SceneGenerator, CROWDHUMAN_LIKE, rafdb_like
+from repro.sensor import NoiseModel, PixelArray
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_scene():
+    """One CrowdHuman-like scene at a compact resolution (640x480)."""
+    return SceneGenerator(CROWDHUMAN_LIKE, resolution=(640, 480), seed=42).scene(0)
+
+
+@pytest.fixture(scope="session")
+def train_scenes():
+    """Four training scenes for detector fitting."""
+    gen = SceneGenerator(CROWDHUMAN_LIKE, resolution=(640, 480), seed=7)
+    return gen.generate(4)
+
+
+@pytest.fixture(scope="session")
+def test_scenes():
+    """Two held-out scenes (different seed) for detector evaluation."""
+    gen = SceneGenerator(CROWDHUMAN_LIKE, resolution=(640, 480), seed=900)
+    return gen.generate(2)
+
+
+@pytest.fixture(scope="session")
+def tiny_faces():
+    """A small balanced RAF-DB-like batch at 28 px."""
+    return rafdb_like(42, size=28, seed=3)
+
+
+@pytest.fixture()
+def gradient_image() -> np.ndarray:
+    """A smooth 32x48 RGB ramp in [0, 1] (handy for pooling/ADC tests)."""
+    yy, xx = np.mgrid[0:32, 0:48]
+    r = xx / 47.0
+    g = yy / 31.0
+    b = (xx + yy) / (47.0 + 31.0)
+    return np.stack([r, g, b], axis=2)
+
+
+@pytest.fixture()
+def noiseless_array(gradient_image) -> PixelArray:
+    return PixelArray.from_image(gradient_image, noise=NoiseModel.noiseless())

@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8"):
+            assert exp_id in out
+
+    def test_costs_paper_headline(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "17.7x" in out
+        assert "14.75 MB" in out
+
+    def test_costs_gray_flag(self, capsys):
+        assert main(["costs", "--gray"]) == 0
+        assert "gray" in capsys.readouterr().out
+
+    def test_circuit_command(self, capsys):
+        assert main(["circuit", "--inputs", "4", "--level", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "shared node" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--width", "320", "--height", "240", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

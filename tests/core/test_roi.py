@@ -1,0 +1,134 @@
+"""Tests for ROI algebra."""
+
+import pytest
+
+from repro.core import (
+    ROI,
+    dedup_contained,
+    merge_overlapping,
+    prepare_rois,
+    total_area,
+    union_area,
+)
+from repro.ml import Detection
+
+
+class TestROIBasics:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            ROI(0, 0, 0, 5)
+
+    def test_area_corners(self):
+        roi = ROI(2, 3, 10, 20)
+        assert roi.area == 200
+        assert roi.x2 == 12
+        assert roi.y2 == 23
+
+    def test_from_detection_scales(self):
+        det = Detection("head", 0.8, 10.2, 5.5, 3.0, 4.0)
+        roi = ROI.from_detection(det, scale=8)
+        assert roi.x == 81  # floor(10.2*8)
+        assert roi.w >= 24
+        assert roi.label == "head"
+        assert roi.score == pytest.approx(0.8)
+
+
+class TestGeometry:
+    def test_clip_inside(self):
+        assert ROI(5, 5, 10, 10).clip(100, 100) == ROI(5, 5, 10, 10)
+
+    def test_clip_partial(self):
+        clipped = ROI(-5, -5, 20, 20).clip(100, 100)
+        assert clipped == ROI(0, 0, 15, 15)
+
+    def test_clip_gone(self):
+        assert ROI(200, 200, 5, 5).clip(100, 100) is None
+
+    def test_pad(self):
+        padded = ROI(10, 10, 10, 10).pad(0.1)
+        assert padded == ROI(9, 9, 12, 12)
+
+    def test_pad_validation(self):
+        with pytest.raises(ValueError):
+            ROI(0, 0, 5, 5).pad(-0.1)
+
+    def test_scaled(self):
+        assert ROI(2, 4, 6, 8).scaled(2.0) == ROI(4, 8, 12, 16)
+
+    def test_iou_and_contains(self):
+        a, b = ROI(0, 0, 10, 10), ROI(2, 2, 4, 4)
+        assert a.contains(b)
+        assert not b.contains(a)
+        assert a.iou(b) == pytest.approx(16 / 100)
+
+    def test_union_with(self):
+        a = ROI(0, 0, 5, 5, score=0.3, label="a")
+        b = ROI(3, 3, 5, 5, score=0.9, label="b")
+        merged = a.union_with(b)
+        assert merged.xywh == (0, 0, 8, 8)
+        assert merged.label == "b"  # higher score wins
+
+
+class TestAreas:
+    def test_total_area_double_counts(self):
+        rois = [ROI(0, 0, 10, 10), ROI(5, 5, 10, 10)]
+        assert total_area(rois) == 200
+
+    def test_union_area_disjoint(self):
+        rois = [ROI(0, 0, 10, 10), ROI(20, 20, 5, 5)]
+        assert union_area(rois) == 125
+
+    def test_union_area_overlap(self):
+        rois = [ROI(0, 0, 10, 10), ROI(5, 0, 10, 10)]
+        assert union_area(rois) == 150
+
+    def test_union_area_nested(self):
+        rois = [ROI(0, 0, 10, 10), ROI(2, 2, 3, 3)]
+        assert union_area(rois) == 100
+
+    def test_union_area_empty(self):
+        assert union_area([]) == 0
+
+    def test_union_leq_total(self):
+        rois = [ROI(i * 3, i * 2, 8, 8) for i in range(5)]
+        assert union_area(rois) <= total_area(rois)
+
+
+class TestConditioning:
+    def test_dedup_contained(self):
+        rois = [ROI(0, 0, 20, 20), ROI(5, 5, 3, 3), ROI(50, 50, 4, 4)]
+        kept = dedup_contained(rois)
+        assert len(kept) == 2
+
+    def test_merge_overlapping(self):
+        rois = [ROI(0, 0, 10, 10), ROI(1, 1, 10, 10), ROI(50, 50, 5, 5)]
+        merged = merge_overlapping(rois, iou_threshold=0.5)
+        assert len(merged) == 2
+
+    def test_merge_validation(self):
+        with pytest.raises(ValueError):
+            merge_overlapping([], iou_threshold=0.0)
+
+    def test_prepare_full_pipeline(self):
+        rois = [
+            ROI(-5, -5, 20, 20, score=0.9),
+            ROI(0, 0, 3, 3, score=0.8),      # contained in first after clip
+            ROI(90, 90, 30, 30, score=0.7),  # clipped at border
+            ROI(0, 0, 1, 1, score=0.6),      # too small
+            ROI(300, 300, 10, 10, score=0.5),  # gone
+        ]
+        out = prepare_rois(rois, 100, 100, min_side_px=2)
+        assert ROI(0, 0, 15, 15, score=0.9) == out[0]
+        assert all(r.x2 <= 100 and r.y2 <= 100 for r in out)
+        assert len(out) == 2
+
+    def test_prepare_max_rois_keeps_best(self):
+        rois = [ROI(0, 0, 5, 5, score=0.1), ROI(20, 20, 5, 5, score=0.9)]
+        out = prepare_rois(rois, 100, 100, max_rois=1)
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(0.9)
+
+    def test_prepare_merge_option(self):
+        rois = [ROI(0, 0, 10, 10, score=0.5), ROI(1, 1, 10, 10, score=0.6)]
+        out = prepare_rois(rois, 100, 100, merge_iou=0.5)
+        assert len(out) == 1

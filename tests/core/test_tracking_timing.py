@@ -1,0 +1,167 @@
+"""Tests for the video extension (ROI tracking) and the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HiRISEConfig,
+    HiRISEPipeline,
+    ROI,
+    ROITracker,
+    Track,
+    VideoHiRISEPipeline,
+)
+from repro.sensor import ReadoutTimingModel
+
+
+class TestTrack:
+    def test_predicted_moves_and_inflates(self):
+        track = Track(roi=ROI(100, 100, 20, 20), vx=5.0, vy=-3.0, age=1)
+        pred = track.predicted(inflate=0.1)
+        assert pred.x < 105  # inflation counteracts some of the shift
+        assert pred.w == 24  # 20 + 2 * round(20*0.1)
+        assert pred.contains(ROI(105, 97, 20, 20))
+
+
+class TestROITracker:
+    def test_new_detections_create_tracks(self):
+        tracker = ROITracker()
+        tracker.confirm([ROI(0, 0, 10, 10), ROI(50, 50, 10, 10)])
+        assert len(tracker.tracks) == 2
+        assert {t.track_id for t in tracker.tracks} == {0, 1}
+
+    def test_matching_updates_velocity(self):
+        tracker = ROITracker(velocity_smoothing=0.0)
+        tracker.confirm([ROI(100, 100, 20, 20)])
+        tracker.confirm([ROI(106, 100, 20, 20)])
+        (track,) = tracker.tracks
+        assert track.vx == pytest.approx(6.0)
+        assert track.vy == pytest.approx(0.0)
+
+    def test_unmatched_tracks_age_out(self):
+        tracker = ROITracker(max_age=2)
+        tracker.confirm([ROI(0, 0, 10, 10)])
+        for _ in range(3):
+            tracker.confirm([ROI(500, 500, 10, 10)])
+        # Original track should be gone; only the far one remains (it is
+        # re-matched every time).
+        assert all(t.roi.x == 500 for t in tracker.tracks if t.age == 0)
+        assert not any(t.roi.x == 0 for t in tracker.tracks)
+
+    def test_predict_moves_tracks(self):
+        tracker = ROITracker(inflate_per_frame=0.0, velocity_smoothing=0.0)
+        tracker.confirm([ROI(100, 100, 20, 20)])
+        tracker.confirm([ROI(110, 100, 20, 20)])
+        (roi,) = tracker.predict()
+        assert roi.x == pytest.approx(120, abs=1)
+
+    def test_healthy_thresholds(self):
+        tracker = ROITracker(max_age=1)
+        assert not tracker.healthy()
+        tracker.confirm([ROI(0, 0, 10, 10)])
+        assert tracker.healthy()
+
+
+class TestVideoPipeline:
+    @pytest.fixture()
+    def moving_clip(self):
+        """A bright square marching right across a plain background."""
+        frames = []
+        for t in range(8):
+            img = np.full((96, 128, 3), 0.3)
+            x = 10 + 8 * t
+            img[30:54, x : x + 24] = 0.95
+            frames.append(img)
+        return frames
+
+    @pytest.fixture()
+    def detector(self):
+        from repro.ml import Detection
+
+        def detect(frame):
+            mask = frame[:, :, 0] > 0.7
+            if not mask.any():
+                return []
+            ys, xs = np.nonzero(mask)
+            return [
+                Detection(
+                    "blob", 0.9, float(xs.min()), float(ys.min()),
+                    float(xs.max() - xs.min() + 1), float(ys.max() - ys.min() + 1),
+                )
+            ]
+
+        return detect
+
+    def test_keyframe_cadence(self, moving_clip, detector):
+        pipeline = HiRISEPipeline(detector=detector, config=HiRISEConfig(pool_k=2))
+        video = VideoHiRISEPipeline(pipeline, keyframe_interval=4)
+        results = video.run(moving_clip)
+        keyframes = [r.frame_index for r in results if r.is_keyframe]
+        # Two warm-up keyframes (velocity needs two observations), then
+        # one keyframe every 4 frames.
+        assert keyframes == [0, 1, 5]
+
+    def test_tracked_frames_cost_less(self, moving_clip, detector):
+        pipeline = HiRISEPipeline(detector=detector, config=HiRISEConfig(pool_k=2))
+        video = VideoHiRISEPipeline(pipeline, keyframe_interval=4)
+        results = video.run(moving_clip)
+        key_cost = np.mean([r.energy for r in results if r.is_keyframe])
+        tracked_cost = np.mean([r.energy for r in results if not r.is_keyframe])
+        assert tracked_cost < key_cost / 2
+
+    def test_tracked_rois_still_cover_object(self, moving_clip, detector):
+        pipeline = HiRISEPipeline(detector=detector, config=HiRISEConfig(pool_k=2))
+        video = VideoHiRISEPipeline(pipeline, keyframe_interval=4)
+        results = video.run(moving_clip)
+        for t, result in enumerate(results):
+            assert result.outcome.rois, f"no ROI at frame {t}"
+            x = 10 + 8 * t
+            gt = ROI(x, 30, 24, 24)
+            best = max(r.iou(gt) for r in result.outcome.rois)
+            assert best > 0.3, f"frame {t}: best IoU {best:.2f}"
+
+    def test_interval_validation(self, detector):
+        pipeline = HiRISEPipeline(detector=detector)
+        with pytest.raises(ValueError):
+            VideoHiRISEPipeline(pipeline, keyframe_interval=0)
+
+
+class TestReadoutTimingModel:
+    def test_full_frame_components(self):
+        model = ReadoutTimingModel(
+            row_time_s=1e-6, conversions_per_s=1e9, link_bytes_per_s=1e9
+        )
+        t = model.full_frame_s(100, 50)
+        expected = 50 * 1e-6 + 15000 / 1e9 + 15000 / 1e9
+        assert t == pytest.approx(expected)
+
+    def test_pooled_faster_than_full(self):
+        model = ReadoutTimingModel()
+        full = model.full_frame_s(2560, 1920)
+        pooled = model.pooled_frame_s(2560, 1920, k=8)
+        assert pooled < full / 8
+
+    def test_grayscale_converts_third(self):
+        model = ReadoutTimingModel(row_time_s=0.0)
+        rgb = model.pooled_frame_s(960, 720, 4, grayscale=False)
+        gray = model.pooled_frame_s(960, 720, 4, grayscale=True)
+        assert gray == pytest.approx(rgb / 3)
+
+    def test_hirise_frame_beats_baseline(self):
+        model = ReadoutTimingModel()
+        rois = [(0, 0, 112, 112)] * 16
+        speedup = model.speedup_vs_baseline(2560, 1920, 8, rois)
+        assert speedup > 4
+
+    def test_roi_latency_grows_with_count(self):
+        model = ReadoutTimingModel()
+        one = model.roi_readout_s([(0, 0, 50, 50)])
+        four = model.roi_readout_s([(0, 0, 50, 50)] * 4)
+        assert four > 3 * one
+
+    def test_validation(self):
+        model = ReadoutTimingModel()
+        with pytest.raises(ValueError):
+            model.pooled_frame_s(100, 100, 0)
+        with pytest.raises(ValueError):
+            model.roi_readout_s([(0, 0, -1, 5)])

@@ -1,0 +1,90 @@
+"""Tests for the RAF-DB-like synthetic expression dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CANONICAL_SIZE, EXPRESSIONS, rafdb_like, render_face
+
+
+class TestRenderFace:
+    def test_output_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        face = render_face("happy", rng, size=112)
+        assert face.shape == (112, 112, 3)
+        assert face.min() >= 0.0
+        assert face.max() <= 1.0
+
+    def test_unknown_expression_rejected(self):
+        with pytest.raises(ValueError):
+            render_face("smug", np.random.default_rng(0))
+
+    def test_identities_vary(self):
+        a = render_face("neutral", np.random.default_rng(1), 64)
+        b = render_face("neutral", np.random.default_rng(2), 64)
+        assert not np.array_equal(a, b)
+
+    def test_expressions_differ_for_same_identity_stream(self):
+        a = render_face("happy", np.random.default_rng(5), 112)
+        b = render_face("surprise", np.random.default_rng(5), 112)
+        assert np.mean(np.abs(a - b)) > 1e-3
+
+    def test_surprise_opens_mouth(self):
+        """Surprise faces have a dark open-mouth region; neutral do not."""
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        surprise = render_face("surprise", rng_a, 112)
+        neutral = render_face("neutral", rng_b, 112)
+        mouth_region = (slice(75, 100), slice(40, 72))
+        assert surprise[mouth_region].mean() < neutral[mouth_region].mean()
+
+
+class TestRafdbLike:
+    def test_shapes_and_labels(self, tiny_faces):
+        images, labels = tiny_faces
+        assert images.shape == (42, 28, 28, 3)
+        assert labels.shape == (42,)
+        assert labels.min() >= 0
+        assert labels.max() < len(EXPRESSIONS)
+
+    def test_balanced_labels(self, tiny_faces):
+        _, labels = tiny_faces
+        counts = np.bincount(labels, minlength=7)
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic(self):
+        a_imgs, a_labels = rafdb_like(7, size=14, seed=11)
+        b_imgs, b_labels = rafdb_like(7, size=14, seed=11)
+        assert np.array_equal(a_imgs, b_imgs)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_split_seeds_disjoint(self):
+        a, _ = rafdb_like(7, size=14, seed=0)
+        b, _ = rafdb_like(7, size=14, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_size_must_divide_canonical(self):
+        with pytest.raises(ValueError):
+            rafdb_like(2, size=100, seed=0)
+
+    def test_area_downsampling_composes(self):
+        """The same face at 14 px equals the 112 px render block-meaned to 14.
+
+        Both resolutions derive from one canonical 224 px render by area
+        downsampling, and block means compose — so resolution is the *only*
+        difference between Table 3 rows.
+        """
+        hi, hl = rafdb_like(7, size=112, seed=2)
+        lo, ll = rafdb_like(7, size=14, seed=2)
+        assert np.array_equal(hl, ll)
+        hi_down = hi.reshape(7, 14, 8, 14, 8, 3).mean(axis=(2, 4))
+        assert np.allclose(hi_down, lo, atol=1e-12)
+
+    def test_high_res_carries_more_detail(self):
+        """Within-block variance at 112 px is information 14 px cannot hold."""
+        hi, _ = rafdb_like(7, size=112, seed=2)
+        blocks = hi.reshape(7, 14, 8, 14, 8, 3)
+        within_block_var = blocks.var(axis=(2, 4)).mean()
+        assert within_block_var > 1e-4
+
+    def test_canonical_size_divisors(self):
+        for size in (14, 28, 56, 112, 224):
+            assert CANONICAL_SIZE % size == 0

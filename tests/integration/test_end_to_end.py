@@ -1,0 +1,157 @@
+"""Integration tests: the full HiRISE system wired end to end.
+
+These exercise sensor -> detector -> ROI feedback -> selective readout ->
+classifier across module boundaries, including the claims that matter:
+HiRISE must beat the baseline on transfer/energy/memory *without* losing
+the task signal (the crops it reads must still contain the objects).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConventionalPipeline,
+    HiRISEConfig,
+    HiRISEPipeline,
+    ROI,
+    compare,
+)
+from repro.datasets import EXPRESSIONS, SceneGenerator, CROWDHUMAN_LIKE, rafdb_like
+from repro.ml import CorrelationDetector, HOGClassifier, iou_matrix
+from repro.sensor import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(train_scenes):
+    """A head detector fitted on 2x-pooled frames (stage-1 domain)."""
+    from repro.sensor import AnalogPoolingModel, PixelArray, SensorReadout
+
+    frames, boxes = [], []
+    for scene in train_scenes:
+        arr = PixelArray.from_image(scene.image, noise=NoiseModel())
+        frame = SensorReadout(arr, pooling=AnalogPoolingModel()).read_compressed(2).images
+        frames.append(frame)
+        boxes.append([b.scaled(0.5, 0.5) for b in scene.boxes])
+    det = CorrelationDetector(classes=("head",))
+    det.fit(frames, boxes)
+    return det
+
+
+class TestDetectorDrivenPipeline:
+    def test_detected_rois_cover_ground_truth(self, fitted_detector, test_scenes):
+        """Stage-2 crops must actually contain heads (the system's point)."""
+        scene = test_scenes[0]
+        pipeline = HiRISEPipeline(
+            detector=fitted_detector.detect,
+            config=HiRISEConfig(pool_k=2, roi_pad_fraction=0.15, max_rois=24),
+            noise=NoiseModel(),
+        )
+        outcome = pipeline.run(scene.image)
+        assert outcome.rois, "detector found nothing"
+
+        gt = np.array([b.xywh for b in scene.boxes_for("head")])
+        pred = np.array([r.xywh for r in outcome.rois], dtype=float)
+        ious = iou_matrix(gt, pred)
+        recalled = (ious.max(axis=1) > 0.25).mean()
+        assert recalled > 0.4, f"only {recalled:.0%} of heads covered by ROIs"
+
+    def test_hirise_beats_baseline_on_detected_rois(self, fitted_detector, test_scenes):
+        scene = test_scenes[0]
+        cfg = HiRISEConfig(pool_k=2, max_rois=24)
+        hirise = HiRISEPipeline(
+            detector=fitted_detector.detect, config=cfg, noise=NoiseModel()
+        ).run(scene.image)
+        baseline = ConventionalPipeline(noise=NoiseModel()).run(scene.image)
+        cmp = compare(hirise, baseline)
+        assert cmp.transfer_reduction > 2
+        assert cmp.energy_reduction > 2
+        assert cmp.memory_reduction > 2
+
+    def test_crops_match_scene_content(self, fitted_detector, test_scenes):
+        """Selective readout returns the same pixels a digital crop would."""
+        scene = test_scenes[1]
+        outcome = HiRISEPipeline(
+            detector=fitted_detector.detect,
+            config=HiRISEConfig(pool_k=2, max_rois=8),
+        ).run(scene.image)
+        for roi, crop in zip(outcome.rois, outcome.roi_crops):
+            digital = scene.image[roi.y : roi.y2, roi.x : roi.x2, :]
+            assert np.max(np.abs(crop - digital)) < 2 / 255.0
+
+
+class TestTwoStageFacePipeline:
+    """The paper's end-goal: expression recognition on head ROIs."""
+
+    def test_classifier_runs_on_roi_crops(self):
+        from repro.ml.image import resize_bilinear
+
+        xtr, ytr = rafdb_like(84, size=28, seed=0)
+        clf = HOGClassifier("mcunetv2-like", n_classes=7, epochs=120).fit(xtr, ytr)
+
+        # Paste two faces into a scene and read them back as ROIs.
+        scene = np.full((480, 640, 3), 0.45)
+        faces, labels = rafdb_like(2, size=112, seed=5)
+        scene[40:152, 60:172] = faces[0]
+        scene[240:352, 400:512] = faces[1]
+        rois = [ROI(60, 40, 112, 112, 0.9), ROI(400, 240, 112, 112, 0.9)]
+
+        def classify(crop):
+            resized = resize_bilinear(crop, (28, 28))
+            return int(clf.predict(resized[None])[0])
+
+        outcome = HiRISEPipeline(
+            classifier=classify, config=HiRISEConfig(pool_k=2)
+        ).run(scene, rois=rois)
+        assert len(outcome.predictions) == 2
+        for pred in outcome.predictions:
+            assert 0 <= pred < len(EXPRESSIONS)
+
+    def test_noise_chain_does_not_break_accuracy(self):
+        """Sensor noise + ADC + readout leaves faces classifiable."""
+        from repro.sensor import ADCModel, PixelArray, SensorReadout
+
+        xtr, ytr = rafdb_like(140, size=28, seed=0)
+        clf = HOGClassifier("mobilenetv2-like", n_classes=7, epochs=200).fit(xtr, ytr)
+
+        from repro.ml.image import downscale_antialiased
+
+        xte, yte = rafdb_like(28, size=112, seed=9)
+        correct = 0
+        for img, label in zip(xte, yte):
+            arr = PixelArray.from_image(img, noise=NoiseModel())
+            crop = SensorReadout(arr).read_rois([(0, 0, 112, 112)]).images[0]
+            pred = int(clf.predict(downscale_antialiased(crop, 0.25)[None])[0])
+            correct += int(pred == label)
+        assert correct / len(yte) > 0.4  # well above 1/7 chance
+
+
+class TestAnalogVsDigitalConsistency:
+    def test_insensor_frame_close_to_digital(self, small_scene):
+        """The Table 2 premise: analog pooling ~= digital pooling."""
+        from repro.sensor import (
+            AnalogPoolingModel,
+            PixelArray,
+            SensorReadout,
+            digital_avg_pool,
+        )
+
+        arr = PixelArray.from_image(small_scene.image, noise=NoiseModel())
+        readout = SensorReadout(arr, pooling=AnalogPoolingModel())
+        analog = readout.read_compressed(4).images
+        digital = digital_avg_pool(readout.read_full().images, 4)
+        rms = float(np.sqrt(np.mean((analog - digital) ** 2)))
+        assert rms < 0.01  # < 1% of full scale
+
+    def test_circuit_and_behavioral_model_agree(self):
+        """The MNA circuit's static transfer matches the behavioral model."""
+        from repro.analog import DC, MNASolver, build_pooling_circuit, AVG_NODE
+
+        levels = np.linspace(0.1, 0.9, 5)
+        outputs = []
+        for level in levels:
+            circuit = build_pooling_circuit([DC(float(level))] * 4)
+            outputs.append(MNASolver(circuit).dc()[AVG_NODE])
+        # Affine fit of circuit response: gain ~0.5 like the model assumes.
+        gain, offset = np.polyfit(levels, outputs, 1)
+        assert gain == pytest.approx(0.5, abs=0.05)
+        assert offset < 0  # below-zero shared node, per the paper

@@ -1,0 +1,110 @@
+"""Integration: video amortization + readout timing on realistic scenes."""
+
+import numpy as np
+import pytest
+
+from repro.core import HiRISEConfig, HiRISEPipeline, ROI, VideoHiRISEPipeline
+from repro.datasets.shapes import draw_person
+from repro.datasets.textures import colorize, value_noise
+from repro.ml import Detection
+from repro.sensor import ReadoutTimingModel
+
+
+@pytest.fixture(scope="module")
+def walking_clip():
+    """Six frames of two pedestrians walking over a textured background."""
+    rng = np.random.default_rng(8)
+    backdrop = colorize(value_noise((240, 320), rng, octaves=3), (0.5, 0.5, 0.48),
+                        (0.65, 0.63, 0.6))
+    frames, gt = [], []
+    for t in range(6):
+        canvas = backdrop.copy()
+        boxes = []
+        for i, (x0, y, h, v) in enumerate(((40.0, 60.0, 90.0, 6.0),
+                                           (220.0, 120.0, 70.0, -5.0))):
+            body, _ = draw_person(
+                canvas, np.random.default_rng((8, i)), x0 + v * t, y, h, 0.3, 0.55
+            )
+            boxes.append(body)
+        frames.append(np.clip(canvas, 0, 1))
+        gt.append(boxes)
+    return frames, gt
+
+
+def gt_detector(gt, state):
+    def detect(pooled):
+        k = 320 // pooled.shape[1]
+        return [
+            Detection("person", 0.9, x / k, y / k, w / k, h / k)
+            for x, y, w, h in gt[min(state["t"], len(gt) - 1)]
+        ]
+
+    return detect
+
+
+class TestVideoOnScenes:
+    def test_amortized_clip_cheaper_than_per_frame(self, walking_clip):
+        frames, gt = walking_clip
+
+        def run(interval):
+            state = {"t": 0}
+            pipeline = HiRISEPipeline(
+                detector=gt_detector(gt, state),
+                config=HiRISEConfig(pool_k=2, max_rois=4),
+            )
+            video = VideoHiRISEPipeline(pipeline, keyframe_interval=interval)
+            results = video.run(frames, on_frame=lambda i: state.update(t=i))
+            return sum(r.energy for r in results)
+
+        every_frame = run(1)
+        amortized = run(3)
+        assert amortized < every_frame
+
+    def test_tracked_windows_follow_pedestrians(self, walking_clip):
+        frames, gt = walking_clip
+        state = {"t": 0}
+        pipeline = HiRISEPipeline(
+            detector=gt_detector(gt, state),
+            config=HiRISEConfig(pool_k=2, max_rois=4),
+        )
+        video = VideoHiRISEPipeline(pipeline, keyframe_interval=3)
+        results = video.run(frames, on_frame=lambda i: state.update(t=i))
+        for r in results:
+            truth = [ROI(int(x), int(y), max(int(w), 1), max(int(h), 1))
+                     for x, y, w, h in gt[r.frame_index]]
+            for t_box in truth:
+                clipped = t_box.clip(320, 240)
+                if clipped is None:
+                    continue
+                best = max((roi.iou(clipped) for roi in r.outcome.rois), default=0.0)
+                assert best > 0.25, (
+                    f"frame {r.frame_index}: pedestrian lost (IoU {best:.2f})"
+                )
+
+
+class TestTimingIntegration:
+    def test_hirise_latency_tracks_energy_savings(self):
+        """The latency win has the same driver (fewer conversions)."""
+        timing = ReadoutTimingModel()
+        rois = [(0, 0, 112, 112)] * 16
+        latency_speedup = timing.speedup_vs_baseline(2560, 1920, 8, rois)
+
+        from repro.core import EnergyModel
+
+        model = EnergyModel()
+        energy_reduction = (
+            model.conventional_frame(2560, 1920).total
+            / model.hirise_frame(2560, 1920, 8, [ROI(0, 0, 112, 112)] * 16).total
+        )
+        # Latency includes row-activation overheads the energy model skips,
+        # so the speedup is smaller but must point the same way, firmly.
+        assert latency_speedup > 3
+        assert energy_reduction > latency_speedup / 4
+
+    def test_per_stage_latency_budget(self):
+        timing = ReadoutTimingModel()
+        stage1 = timing.pooled_frame_s(2560, 1920, 8)
+        stage2 = timing.roi_readout_s([(0, 0, 112, 112)] * 16)
+        full = timing.full_frame_s(2560, 1920)
+        assert stage1 + stage2 < full
+        assert stage1 < full / 4

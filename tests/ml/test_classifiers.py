@@ -1,0 +1,133 @@
+"""Tests for the HOG and CNN stage-2 classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import rafdb_like
+from repro.ml import (
+    CLASSIFIER_PRESETS,
+    HOGClassifier,
+    SoftmaxRegression,
+    hog_features,
+    mcunetv2_like_classifier,
+    mobilenetv2_like_classifier,
+    tiny_cnn,
+)
+from repro.ml.train import fit_classifier, predict_classifier
+from repro.ml.optim import Adam
+
+
+class TestHOGFeatures:
+    def test_shape_deterministic(self, tiny_faces):
+        images, _ = tiny_faces
+        feats = hog_features(images[:4])
+        assert feats.shape[0] == 4
+        assert np.array_equal(feats, hog_features(images[:4]))
+
+    def test_l2_normalized(self, tiny_faces):
+        images, _ = tiny_faces
+        feats = hog_features(images[:4])
+        norms = np.linalg.norm(feats, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_gray_batch_supported(self, tiny_faces):
+        images, _ = tiny_faces
+        gray = images.mean(axis=3)
+        feats = hog_features(gray, include_color=False)
+        assert feats.shape[0] == images.shape[0]
+
+    def test_tiny_images_cap_cells(self):
+        imgs = np.random.default_rng(0).random((2, 6, 6, 3))
+        feats = hog_features(imgs, n_cells=8)  # capped to 3
+        assert feats.shape[1] > 0
+
+    def test_rotation_changes_features(self, tiny_faces):
+        images, _ = tiny_faces
+        rotated = np.rot90(images[:2], axes=(1, 2))
+        a = hog_features(images[:2])
+        b = hog_features(rotated)
+        assert not np.allclose(a, b)
+
+
+class TestSoftmaxRegression:
+    def test_separable_problem(self, rng):
+        x = rng.standard_normal((90, 5))
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = SoftmaxRegression(n_classes=2, epochs=200).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_predict_proba_sums_to_one(self, rng):
+        x = rng.standard_normal((20, 4))
+        y = rng.integers(0, 3, 20)
+        model = SoftmaxRegression(n_classes=3, epochs=50).fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxRegression(n_classes=2).predict(np.zeros((1, 3)))
+
+
+class TestHOGClassifier:
+    def test_preset_validation(self):
+        with pytest.raises(ValueError):
+            HOGClassifier("resnet-like", n_classes=7)
+
+    def test_presets_exist(self):
+        assert "mcunetv2-like" in CLASSIFIER_PRESETS
+        assert "mobilenetv2-like" in CLASSIFIER_PRESETS
+
+    def test_learns_expressions_at_56px(self):
+        xtr, ytr = rafdb_like(140, size=56, seed=0)
+        xte, yte = rafdb_like(56, size=56, seed=1)
+        clf = HOGClassifier("mobilenetv2-like", n_classes=7, epochs=250).fit(xtr, ytr)
+        assert clf.accuracy(xte, yte) > 0.5  # 7-class chance is 0.14
+
+    def test_resolution_sensitivity(self):
+        """The Table 3 effect: higher ROI resolution -> higher accuracy."""
+        accs = {}
+        for size in (14, 56):
+            xtr, ytr = rafdb_like(140, size=size, seed=0)
+            xte, yte = rafdb_like(56, size=size, seed=1)
+            clf = HOGClassifier("mobilenetv2-like", n_classes=7, epochs=250).fit(xtr, ytr)
+            accs[size] = clf.accuracy(xte, yte)
+        assert accs[56] > accs[14] + 0.1
+
+    def test_unfitted_raises(self, tiny_faces):
+        images, labels = tiny_faces
+        with pytest.raises(RuntimeError):
+            HOGClassifier("mcunetv2-like", n_classes=7).predict(images)
+
+
+class TestTinyCNN:
+    def test_output_shape(self, rng):
+        net = tiny_cnn(16, n_classes=5, width=4)
+        x = rng.random((3, 16, 16, 3))
+        assert net(x).shape == (3, 5)
+
+    def test_odd_input_size_handled(self, rng):
+        net = tiny_cnn(14, n_classes=7, width=4)
+        x = rng.random((2, 14, 14, 3))
+        assert net(x).shape == (2, 7)
+
+    def test_capacity_ordering(self):
+        small = mcunetv2_like_classifier(28, 7)
+        large = mobilenetv2_like_classifier(28, 7)
+        assert large.n_parameters() > small.n_parameters()
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            tiny_cnn(4, n_classes=2)
+
+    def test_trains_on_trivial_task(self, rng):
+        """Black vs white images: the CNN must fit this quickly."""
+        x = np.concatenate([
+            np.zeros((12, 16, 16, 3)),
+            np.ones((12, 16, 16, 3)),
+        ])
+        y = np.array([0] * 12 + [1] * 12)
+        net = tiny_cnn(16, n_classes=2, width=4, seed=1)
+        fit_classifier(net, x, y, Adam(net.params(), lr=5e-3), epochs=12,
+                       batch_size=6, seed=0)
+        preds = predict_classifier(net, x)
+        assert np.mean(preds == y) > 0.9

@@ -1,0 +1,96 @@
+"""Tests for image utilities (resize, grayscale, padded crop)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import crop_padded, ensure_channels, resize_bilinear, to_gray
+
+
+class TestToGray:
+    def test_luma_weights(self):
+        img = np.zeros((2, 2, 3))
+        img[:, :, 0] = 1.0
+        assert np.allclose(to_gray(img), 0.299)
+
+    def test_2d_passthrough(self):
+        img = np.full((3, 3), 0.5)
+        assert to_gray(img) is img
+
+    def test_single_channel_squeezed(self):
+        img = np.full((3, 3, 1), 0.4)
+        assert to_gray(img).shape == (3, 3)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            to_gray(np.zeros((2, 2, 4)))
+
+
+class TestEnsureChannels:
+    def test_adds_axis(self):
+        assert ensure_channels(np.zeros((4, 5))).shape == (4, 5, 1)
+
+    def test_keeps_3d(self):
+        x = np.zeros((4, 5, 3))
+        assert ensure_channels(x).shape == (4, 5, 3)
+
+
+class TestResizeBilinear:
+    def test_identity_when_same_size(self):
+        img = np.random.default_rng(0).random((5, 7, 3))
+        out = resize_bilinear(img, (5, 7))
+        assert np.allclose(out, img)
+
+    def test_constant_image_preserved(self):
+        img = np.full((8, 8), 0.37)
+        out = resize_bilinear(img, (3, 5))
+        assert np.allclose(out, 0.37)
+
+    def test_upsample_shape(self):
+        out = resize_bilinear(np.zeros((4, 4, 3)), (9, 13))
+        assert out.shape == (9, 13, 3)
+
+    def test_2d_stays_2d(self):
+        out = resize_bilinear(np.zeros((4, 4)), (8, 8))
+        assert out.shape == (8, 8)
+
+    def test_linear_ramp_preserved(self):
+        """Bilinear resize of a linear ramp stays (approximately) linear."""
+        ramp = np.tile(np.linspace(0, 1, 16), (4, 1))
+        out = resize_bilinear(ramp, (4, 31))
+        diffs = np.diff(out[0])
+        assert np.all(diffs >= -1e-12)
+        assert np.allclose(diffs[2:-2], diffs[2], atol=1e-6)
+
+    def test_downsample_averages(self):
+        img = np.zeros((2, 2))
+        img[0, 0] = 1.0
+        out = resize_bilinear(img, (1, 1))
+        assert 0.2 <= out[0, 0] <= 0.3  # center sample of the bilinear surface
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), (0, 4))
+
+
+class TestCropPadded:
+    def test_interior_crop(self):
+        img = np.arange(24, dtype=float).reshape(4, 6)
+        out = crop_padded(img, 1, 1, 3, 2)
+        assert np.array_equal(out, img[1:3, 1:4])
+
+    def test_pads_out_of_bounds(self):
+        img = np.ones((4, 4, 3))
+        out = crop_padded(img, -2, -2, 4, 4)
+        assert out.shape == (4, 4, 3)
+        assert out[0, 0, 0] == 0.0  # padded corner
+        assert out[3, 3, 0] == 1.0  # real pixel
+
+    def test_fully_outside_is_zeros(self):
+        img = np.ones((4, 4))
+        out = crop_padded(img, 10, 10, 3, 3)
+        assert out.shape == (3, 3)
+        assert np.all(out == 0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            crop_padded(np.ones((4, 4)), 0, 0, 0, 3)

@@ -1,0 +1,225 @@
+"""Tests for the NumPy layers, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    Param,
+    ReLU,
+    relu6,
+)
+
+
+def numeric_grad(f, x, eps=1e-5):
+    """Central finite differences of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        f_hi = f()
+        flat[i] = old - eps
+        f_lo = f()
+        flat[i] = old
+        gflat[i] = (f_hi - f_lo) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, atol=1e-6):
+    """Backward pass vs finite differences of sum(forward)."""
+    def loss():
+        return float(layer.forward(x, training=False).sum())
+
+    out = layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(out))
+    numeric = numeric_grad(loss, x)
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"max err {np.max(np.abs(analytic - numeric))}"
+    )
+
+
+def check_param_gradient(layer, x, param: Param, atol=1e-6):
+    def loss():
+        return float(layer.forward(x, training=False).sum())
+
+    out = layer.forward(x, training=True)
+    param.zero_grad()
+    layer.backward(np.ones_like(out))
+    numeric = numeric_grad(loss, param.value)
+    assert np.allclose(param.grad, numeric, atol=atol), (
+        f"max err {np.max(np.abs(param.grad - numeric))}"
+    )
+
+
+@pytest.fixture()
+def x_small(rng):
+    return rng.standard_normal((2, 6, 6, 3)) * 0.5
+
+
+class TestConv2D:
+    def test_same_padding_shape(self, x_small):
+        conv = Conv2D(3, 4, kernel=3, stride=1)
+        assert conv.forward(x_small).shape == (2, 6, 6, 4)
+
+    def test_stride2_shape(self, x_small):
+        conv = Conv2D(3, 4, kernel=3, stride=2)
+        assert conv.forward(x_small).shape == (2, 3, 3, 4)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        conv = Conv2D(3, 2, kernel=1, pad=0, rng=rng)
+        x = rng.standard_normal((1, 4, 4, 3))
+        out = conv.forward(x)
+        expected = x @ conv.w.value.reshape(3, 2) + conv.b.value
+        assert np.allclose(out, expected)
+
+    def test_input_gradient(self, rng):
+        conv = Conv2D(2, 3, kernel=3, stride=1, rng=rng)
+        x = rng.standard_normal((1, 4, 4, 2)) * 0.5
+        check_input_gradient(conv, x)
+
+    def test_weight_gradient(self, rng):
+        conv = Conv2D(2, 2, kernel=3, stride=2, rng=rng)
+        x = rng.standard_normal((2, 4, 4, 2)) * 0.5
+        check_param_gradient(conv, x, conv.w)
+
+    def test_bias_gradient(self, rng):
+        conv = Conv2D(2, 2, kernel=3, rng=rng)
+        x = rng.standard_normal((1, 4, 4, 2)) * 0.5
+        check_param_gradient(conv, x, conv.b)
+
+    def test_backward_requires_training_forward(self, x_small):
+        conv = Conv2D(3, 2)
+        conv.forward(x_small, training=False)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((2, 6, 6, 2)))
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self, x_small):
+        dw = DepthwiseConv2D(3, kernel=3)
+        assert dw.forward(x_small).shape == (2, 6, 6, 3)
+
+    def test_stride2(self, x_small):
+        dw = DepthwiseConv2D(3, kernel=3, stride=2)
+        assert dw.forward(x_small).shape == (2, 3, 3, 3)
+
+    def test_input_gradient(self, rng):
+        dw = DepthwiseConv2D(2, kernel=3, rng=rng)
+        x = rng.standard_normal((1, 4, 4, 2)) * 0.5
+        check_input_gradient(dw, x)
+
+    def test_weight_gradient(self, rng):
+        dw = DepthwiseConv2D(2, kernel=3, stride=2, rng=rng)
+        x = rng.standard_normal((1, 4, 4, 2)) * 0.5
+        check_param_gradient(dw, x, dw.w)
+
+
+class TestActivationsAndPooling:
+    def test_relu_clamps(self):
+        r = ReLU()
+        out = r.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_relu6_caps(self):
+        r = relu6()
+        out = r.forward(np.array([[-1.0, 3.0, 9.0]]))
+        assert np.array_equal(out, [[0.0, 3.0, 6.0]])
+
+    def test_relu_gradient_mask(self, rng):
+        r = ReLU()
+        x = rng.standard_normal((3, 5))
+        check_input_gradient(r, x)
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = MaxPool2D(2).forward(x)
+        assert out[0, 0, 0, 0] == 5.0
+        assert out[0, 1, 1, 0] == 15.0
+
+    def test_maxpool_gradient(self, rng):
+        mp = MaxPool2D(2)
+        x = rng.standard_normal((1, 4, 4, 2))
+        check_input_gradient(mp, x)
+
+    def test_maxpool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(3).forward(np.zeros((1, 4, 4, 1)))
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 4))
+        out = GlobalAvgPool().forward(x)
+        assert out.shape == (2, 4)
+        assert np.allclose(out, x.mean(axis=(1, 2)))
+
+    def test_global_avg_pool_gradient(self, rng):
+        gap = GlobalAvgPool()
+        x = rng.standard_normal((1, 3, 3, 2))
+        check_input_gradient(gap, x)
+
+    def test_flatten_roundtrip(self, rng):
+        f = Flatten()
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = f.forward(x, training=True)
+        assert out.shape == (2, 60)
+        back = f.backward(out)
+        assert back.shape == x.shape
+
+
+class TestDense:
+    def test_forward(self, rng):
+        d = Dense(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4))
+        assert np.allclose(d.forward(x), x @ d.w.value + d.b.value)
+
+    def test_input_gradient(self, rng):
+        d = Dense(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        check_input_gradient(d, x)
+
+    def test_weight_gradient(self, rng):
+        d = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        check_param_gradient(d, x, d.w)
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self, rng):
+        bn = BatchNorm(4)
+        x = rng.standard_normal((64, 4)) * 3 + 2
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm(2, momentum=0.0)  # adopt batch stats immediately
+        x = rng.standard_normal((32, 2)) * 2 + 5
+        bn.forward(x, training=True)
+        out = bn.forward(x, training=False)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=0.2)
+
+    def test_nhwc_axes(self, rng):
+        bn = BatchNorm(3)
+        x = rng.standard_normal((2, 4, 4, 3))
+        out = bn.forward(x, training=True)
+        assert out.shape == x.shape
+        assert np.allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-6)
+
+    def test_input_gradient(self, rng):
+        bn = BatchNorm(2)
+        x = rng.standard_normal((6, 2))
+
+        def loss():
+            return float(bn.forward(x, training=True).sum())
+
+        out = bn.forward(x, training=True)
+        analytic = bn.backward(np.ones_like(out))
+        numeric = numeric_grad(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)

@@ -1,0 +1,188 @@
+"""Tests for Sequential, losses, optimizers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Sequential, fit_classifier, predict_classifier
+from repro.ml.layers import Dense, ReLU
+from repro.ml.losses import (
+    binary_cross_entropy_with_logits,
+    mse,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.ml.optim import SGD, Adam
+from repro.ml.train import iterate_minibatches
+
+
+def tiny_net(rng, n_in=4, n_out=3):
+    return Sequential([Dense(n_in, 8, rng=rng), ReLU(), Dense(8, n_out, rng=rng)])
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        net = tiny_net(rng)
+        assert net(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_params_collected(self, rng):
+        net = tiny_net(rng)
+        assert len(net.params()) == 4  # two Dense layers x (w, b)
+
+    def test_state_dict_roundtrip(self, rng):
+        net = tiny_net(rng)
+        x = rng.standard_normal((2, 4))
+        before = net(x)
+        state = net.state_dict()
+        for p in net.params():
+            p.value[...] = 0.0
+        assert not np.allclose(net(x), before)
+        net.load_state_dict(state)
+        assert np.allclose(net(x), before)
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        net = tiny_net(rng)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_n_parameters(self, rng):
+        net = tiny_net(rng)
+        assert net.n_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((5, 7)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((1, 4))
+        loss, _ = softmax_cross_entropy(logits, np.array([2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_cross_entropy_gradient_fd(self, rng):
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([0, 2, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in (0, 5, 11):
+            flat = logits.reshape(-1)
+            old = flat[i]
+            flat[i] = old + eps
+            hi, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = old - eps
+            lo, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = old
+            assert grad.reshape(-1)[i] == pytest.approx((hi - lo) / (2 * eps), abs=1e-5)
+
+    def test_mse_zero_at_target(self):
+        x = np.ones((2, 2))
+        loss, grad = mse(x, x)
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.array([-50.0, 0.0, 50.0])
+        s = sigmoid(x)
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0)
+
+    def test_bce_perfect(self):
+        logits = np.array([[-100.0, 100.0]])
+        targets = np.array([[0.0, 1.0]])
+        loss, grad = binary_cross_entropy_with_logits(logits, targets)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(grad, 0.0, atol=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        from repro.ml.layers import Param
+
+        return Param(np.array([5.0, -3.0]))
+
+    def test_sgd_minimizes_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * p.value  # d/dx x^2
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-4)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        p1, p2 = self._quadratic_param(), self._quadratic_param()
+        plain = SGD([p1], lr=0.01, momentum=0.0)
+        heavy = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, opt in ((p1, plain), (p2, heavy)):
+                p.zero_grad()
+                p.grad += 2 * p.value
+                opt.step()
+        assert np.abs(p2.value).sum() < np.abs(p1.value).sum()
+
+    def test_adam_minimizes_quadratic(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        from repro.ml.layers import Param
+
+        p = Param(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.step()  # no loss gradient, only decay
+        assert p.value[0] < 1.0
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=-1.0)
+
+
+class TestTrainLoop:
+    def test_learns_linearly_separable(self, rng):
+        x = rng.standard_normal((120, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        net = tiny_net(rng, n_in=4, n_out=2)
+        history = fit_classifier(
+            net, x, y, Adam(net.params(), lr=0.01), epochs=30, batch_size=16, seed=0
+        )
+        assert history.final_accuracy > 0.9
+        assert history.losses[-1] < history.losses[0]
+
+    def test_predict_matches_forward(self, rng):
+        net = tiny_net(rng)
+        x = rng.standard_normal((10, 4))
+        preds = predict_classifier(net, x, batch_size=3)
+        assert np.array_equal(preds, np.argmax(net(x), axis=1))
+
+    def test_minibatches_cover_everything(self, rng):
+        batches = iterate_minibatches(10, 3, rng)
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_misaligned_inputs_rejected(self, rng):
+        net = tiny_net(rng)
+        with pytest.raises(ValueError):
+            fit_classifier(net, np.zeros((3, 4)), np.zeros(2, dtype=int),
+                           SGD(net.params(), lr=0.1))

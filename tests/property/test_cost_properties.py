@@ -1,0 +1,106 @@
+"""Property-based tests for the Table 1 cost model and energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EnergyModel,
+    conventional_costs,
+    hirise_costs,
+    hirise_stage1_costs,
+)
+
+frames = st.tuples(st.integers(64, 4096), st.integers(64, 4096))
+poolings = st.sampled_from([2, 4, 8, 16])
+roi_sets = st.lists(
+    st.tuples(st.integers(1, 256), st.integers(1, 256)), min_size=0, max_size=24
+)
+
+
+class TestCostModelProperties:
+    @given(frames)
+    @settings(max_examples=50, deadline=None)
+    def test_conventional_identities(self, frame):
+        n, m = frame
+        c = conventional_costs(n, m)
+        assert c.data_transfer_bits == c.memory_bits
+        assert c.data_transfer_bits == c.adc_conversions * 8
+        assert c.adc_conversions == 3 * n * m
+
+    @given(frames, poolings)
+    @settings(max_examples=50, deadline=None)
+    def test_stage1_scales_inverse_k2(self, frame, k):
+        n, m = frame
+        s = hirise_stage1_costs(n, m, k, grayscale=True)
+        assert s.adc_conversions == (n // k) * (m // k)
+
+    @given(frames, poolings)
+    @settings(max_examples=50, deadline=None)
+    def test_grayscale_exactly_one_third(self, frame, k):
+        n, m = frame
+        gray = hirise_stage1_costs(n, m, k, grayscale=True)
+        rgb = hirise_stage1_costs(n, m, k, grayscale=False)
+        assert rgb.adc_conversions == 3 * gray.adc_conversions
+
+    @given(frames, poolings, roi_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_hirise_conversions_never_exceed_baseline_plus_rois(self, frame, k, rois):
+        n, m = frame
+        cb = hirise_costs(n, m, k, rois)
+        # Stage-1 conversions are strictly fewer; stage 2 adds ROI pixels.
+        assert cb.stage1.adc_conversions < cb.conventional.adc_conversions
+        expected_stage2 = 3 * sum(w * h for w, h in rois)
+        assert cb.stage2.adc_conversions == expected_stage2
+
+    @given(frames, poolings, roi_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_memory_is_max_rule(self, frame, k, rois):
+        n, m = frame
+        cb = hirise_costs(n, m, k, rois)
+        assert cb.hirise_peak_memory_bits == max(
+            cb.stage1.memory_bits, cb.stage2.memory_bits
+        )
+
+    @given(frames, roi_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_monotone_in_k(self, frame, rois):
+        n, m = frame
+        reductions = [
+            hirise_costs(n, m, k, rois).transfer_reduction for k in (2, 4, 8)
+        ]
+        assert reductions[0] <= reductions[1] <= reductions[2]
+
+
+class TestEnergyProperties:
+    @given(frames, poolings, roi_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_consistent_with_conversions(self, frame, k, rois):
+        n, m = frame
+        model = EnergyModel()
+        e = model.hirise_frame(n, m, k, rois)
+        conversions = (
+            hirise_costs(n, m, k, rois, grayscale=False).stage1.adc_conversions
+            + 3 * sum(w * h for w, h in rois)
+        )
+        assert e.stage1_adc + e.stage2_adc == pytest.approx(
+            conversions * model.adc_energy_per_conversion
+        )
+
+    @given(frames)
+    @settings(max_examples=40, deadline=None)
+    def test_baseline_energy_proportional_to_pixels(self, frame):
+        n, m = frame
+        model = EnergyModel()
+        assert model.conventional_frame(n, m).total == pytest.approx(
+            n * m * 3 * model.adc_energy_per_conversion
+        )
+
+    @given(frames, poolings)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_roi_hirise_always_wins(self, frame, k):
+        """With no ROIs, HiRISE energy is strictly below baseline."""
+        n, m = frame
+        model = EnergyModel()
+        hirise = model.hirise_frame(n, m, k, [])
+        base = model.conventional_frame(n, m)
+        assert hirise.total < base.total

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the ROI algebra invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ROI, dedup_contained, merge_overlapping, total_area, union_area
+
+
+def rois(max_coord=200, max_size=80):
+    return st.builds(
+        ROI,
+        x=st.integers(-20, max_coord),
+        y=st.integers(-20, max_coord),
+        w=st.integers(1, max_size),
+        h=st.integers(1, max_size),
+    )
+
+
+roi_lists = st.lists(rois(), min_size=0, max_size=12)
+
+
+class TestUnionAreaProperties:
+    @given(roi_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_union_between_max_and_total(self, items):
+        u = union_area(items)
+        if not items:
+            assert u == 0
+            return
+        assert max(r.area for r in items) <= u <= total_area(items)
+
+    @given(roi_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_union_matches_rasterization(self, items):
+        """The sweep algorithm equals a brute-force pixel count."""
+        u = union_area(items)
+        if not items:
+            assert u == 0
+            return
+        x0 = min(r.x for r in items)
+        y0 = min(r.y for r in items)
+        x1 = max(r.x2 for r in items)
+        y1 = max(r.y2 for r in items)
+        grid = np.zeros((y1 - y0, x1 - x0), dtype=bool)
+        for r in items:
+            grid[r.y - y0 : r.y2 - y0, r.x - x0 : r.x2 - x0] = True
+        assert u == int(grid.sum())
+
+    @given(roi_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_union_invariant_under_permutation(self, items):
+        assert union_area(items) == union_area(list(reversed(items)))
+
+    @given(rois())
+    @settings(max_examples=30, deadline=None)
+    def test_duplicates_do_not_grow_union(self, roi):
+        assert union_area([roi, roi, roi]) == roi.area
+
+
+class TestGeometryProperties:
+    @given(rois(), st.integers(50, 300), st.integers(50, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_stays_inside(self, roi, w, h):
+        clipped = roi.clip(w, h)
+        if clipped is not None:
+            assert 0 <= clipped.x and 0 <= clipped.y
+            assert clipped.x2 <= w and clipped.y2 <= h
+            assert clipped.area <= roi.area
+
+    @given(rois(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_pad_grows(self, roi, frac):
+        padded = roi.pad(frac)
+        assert padded.area >= roi.area
+        assert padded.contains(roi)
+
+    @given(rois(), rois())
+    @settings(max_examples=60, deadline=None)
+    def test_iou_symmetric_and_bounded(self, a, b):
+        assert a.iou(b) == b.iou(a)
+        assert 0.0 <= a.iou(b) <= 1.0
+
+    @given(rois())
+    @settings(max_examples=30, deadline=None)
+    def test_self_iou_is_one(self, roi):
+        assert roi.iou(roi) == 1.0
+
+    @given(rois(), rois())
+    @settings(max_examples=60, deadline=None)
+    def test_union_with_contains_both(self, a, b):
+        merged = a.union_with(b)
+        assert merged.contains(a)
+        assert merged.contains(b)
+
+
+class TestConditioningProperties:
+    @given(roi_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_result_is_antichain(self, items):
+        kept = dedup_contained(items)
+        for i, a in enumerate(kept):
+            for j, b in enumerate(kept):
+                if i != j:
+                    assert not (a.contains(b) and a.area > b.area) or not a.contains(b)
+
+    @given(roi_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_preserves_union_area(self, items):
+        """Dropping contained boxes never loses covered pixels."""
+        assert union_area(dedup_contained(items)) == union_area(items)
+
+    @given(roi_lists, st.floats(0.1, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_covers_original(self, items, thr):
+        merged = merge_overlapping(items, iou_threshold=thr)
+        assert union_area(merged) >= union_area(items)
+        for roi in items:
+            assert any(m.contains(roi) or m.iou(roi) > 0 or m == roi for m in merged) or not merged

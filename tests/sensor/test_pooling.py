@@ -1,0 +1,101 @@
+"""Tests for analog and digital average pooling."""
+
+import numpy as np
+import pytest
+
+from repro.sensor import AnalogPoolingModel, block_reduce_mean, digital_avg_pool
+
+
+class TestBlockReduce:
+    def test_constant_image_preserved(self):
+        img = np.full((8, 8), 0.3)
+        assert np.allclose(block_reduce_mean(img, 2), 0.3)
+
+    def test_known_blocks(self):
+        img = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert block_reduce_mean(img, 2)[0, 0] == pytest.approx(0.5)
+
+    def test_channelwise(self):
+        img = np.zeros((4, 4, 3))
+        img[:, :, 1] = 1.0
+        out = block_reduce_mean(img, 2)
+        assert out.shape == (2, 2, 3)
+        assert np.allclose(out[:, :, 0], 0.0)
+        assert np.allclose(out[:, :, 1], 1.0)
+
+    def test_non_divisible_crops_remainder(self):
+        img = np.arange(5 * 7, dtype=float).reshape(5, 7)
+        out = block_reduce_mean(img, 2)
+        assert out.shape == (2, 3)
+        assert out[0, 0] == pytest.approx(np.mean(img[:2, :2]))
+
+    def test_k1_identity(self):
+        img = np.random.default_rng(0).random((4, 4))
+        assert np.array_equal(block_reduce_mean(img, 1), img)
+
+    def test_rejects_oversized_k(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.zeros((4, 4)), 8)
+
+
+class TestAnalogPoolingModel:
+    def test_ideal_matches_digital(self):
+        rng = np.random.default_rng(5)
+        img = rng.random((16, 16, 3))
+        ideal = AnalogPoolingModel.ideal()
+        analog = ideal.pool(img, 4, vdd=1.0)
+        digital = digital_avg_pool(img, 4)
+        assert np.allclose(analog, digital, atol=1e-12)
+
+    def test_grayscale_merges_channels(self):
+        img = np.zeros((4, 4, 3))
+        img[:, :, 0] = 0.9  # only red lit
+        out = AnalogPoolingModel.ideal().pool(img, 2, vdd=1.0, grayscale=True)
+        assert out.shape == (2, 2)
+        assert np.allclose(out, 0.3)
+
+    def test_default_nonidealities_small(self):
+        rng = np.random.default_rng(6)
+        img = rng.random((32, 32, 3))
+        out = AnalogPoolingModel().pool(img, 4, vdd=1.0)
+        ref = digital_avg_pool(img, 4)
+        assert np.max(np.abs(out - ref)) < 0.02  # < 2% of full scale
+
+    def test_mismatch_is_fixed_pattern(self):
+        img = np.full((8, 8, 3), 0.5)
+        model = AnalogPoolingModel(seed=3)
+        a = model.pool(img, 2, vdd=1.0)
+        b = model.pool(img, 2, vdd=1.0)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        img = np.full((8, 8, 3), 0.5)
+        a = AnalogPoolingModel(seed=1).pool(img, 2, vdd=1.0)
+        b = AnalogPoolingModel(seed=2).pool(img, 2, vdd=1.0)
+        assert not np.array_equal(a, b)
+
+    def test_output_clipped_to_rails(self):
+        img = np.ones((8, 8, 3))
+        model = AnalogPoolingModel(offset_error_sigma_per_vdd=0.2, seed=0)
+        out = model.pool(img, 2, vdd=1.0)
+        assert out.max() <= 1.0
+        assert out.min() >= 0.0
+
+    def test_from_tracking_fit_roundtrip(self):
+        model = AnalogPoolingModel.from_tracking_fit(gain=0.49, offset=-0.51, vdd=1.0)
+        assert model.gain == pytest.approx(0.49)
+        assert model.offset_per_vdd == pytest.approx(-0.51)
+
+    def test_compression_bows_midscale(self):
+        """The SF nonlinearity pulls mid-scale down, leaves rails alone."""
+        model = AnalogPoolingModel(
+            gain_error_sigma=0.0, offset_error_sigma_per_vdd=0.0, compression=0.05
+        )
+        mid = model.pool(np.full((2, 2, 3), 0.5), 2, vdd=1.0)
+        hi = model.pool(np.ones((2, 2, 3)), 2, vdd=1.0)
+        assert mid[0, 0, 0] < 0.5
+        assert hi[0, 0, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            AnalogPoolingModel().pool(np.zeros((4, 4)), 2, vdd=1.0)
