@@ -1,0 +1,153 @@
+"""Streaming extension benchmark: frames/sec and data transfer over video.
+
+The paper (Tables 1/3, Figs. 6-8) costs single exposures; this bench runs
+the system over a ≥30-frame synthetic pedestrian clip and compares four
+policies:
+
+* **conventional** — ship every full frame (the Fig. 2a baseline, streamed);
+* **hirise/frame** — the full two-stage HiRISE flow on every frame;
+* **hirise/batch**  — same flow, but stage-1 exposure + analog pooling for
+  the whole clip vectorized into NumPy passes (bit-identical by design);
+* **hirise/reuse**  — temporal ROI reuse: IoU-gated skipping of the pooled
+  conversion *and* the stage-1 detector on stable frames.
+
+Checks enforced here (the streaming acceptance bar):
+
+1. batched stage-1 is **bit-identical** to the per-frame loop (images,
+   crops, and every ledger row);
+2. ROI reuse moves **strictly fewer bytes** and finishes **strictly
+   faster** than per-frame HiRISE;
+3. every HiRISE policy moves far fewer bytes than the conventional stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Table
+from repro.core import ConventionalPipeline, HiRISEConfig, HiRISEPipeline
+from repro.stream import (
+    StreamRunner,
+    TemporalROIReuse,
+    ground_truth_detector,
+    pedestrian_clip,
+)
+
+N_FRAMES = 36
+RESOLUTION = (256, 192)
+POOL_K = 4
+BATCH = 12
+
+
+def _hirise_pipeline(clip):
+    detect, on_frame = ground_truth_detector(clip, label="person")
+    pipeline = HiRISEPipeline(
+        detector=detect,
+        config=HiRISEConfig(pool_k=POOL_K, roi_pad_fraction=0.05, max_rois=8),
+    )
+    return pipeline, on_frame
+
+
+def _timed_run(clip, mode: str) -> float:
+    """One fresh wall-clock sample of a policy (for the speed comparison)."""
+    pipeline, on_frame = _hirise_pipeline(clip)
+    reuse = TemporalROIReuse(max_reuse=3) if mode == "reuse" else None
+    runner = StreamRunner(pipeline, reuse=reuse)
+    return runner.run(clip.frames, on_frame=on_frame).wall_time_s
+
+
+def run_policies(clip):
+    results = {}
+
+    pipeline, on_frame = _hirise_pipeline(clip)
+    results["hirise/frame"] = StreamRunner(pipeline, keep_outcomes=True).run(
+        clip.frames, on_frame=on_frame
+    )
+
+    pipeline, on_frame = _hirise_pipeline(clip)
+    results["hirise/batch"] = StreamRunner(
+        pipeline, batch_size=BATCH, keep_outcomes=True
+    ).run(clip.frames, on_frame=on_frame)
+
+    pipeline, on_frame = _hirise_pipeline(clip)
+    results["hirise/reuse"] = StreamRunner(
+        pipeline, reuse=TemporalROIReuse(max_reuse=3)
+    ).run(clip.frames, on_frame=on_frame)
+
+    detect, on_frame = ground_truth_detector(clip, label="person")
+    results["conventional"] = StreamRunner(
+        ConventionalPipeline(detector=detect)
+    ).run(clip.frames, on_frame=on_frame)
+
+    return results
+
+
+def test_stream_throughput(benchmark, emit):
+    clip = pedestrian_clip(n_frames=N_FRAMES, resolution=RESOLUTION, seed=4)
+    assert len(clip) >= 30
+
+    results = benchmark.pedantic(run_policies, args=(clip,), rounds=1, iterations=1)
+
+    table = Table(
+        f"streaming: {N_FRAMES} frames at {RESOLUTION[0]}x{RESOLUTION[1]}, k={POOL_K}",
+        ["policy", "stage-1 runs", "kB/frame", "uJ/frame", "frames/s", "vs conv"],
+        aligns=["l", "r", "r", "r", "r", "r"],
+    )
+    conv_bytes = results["conventional"].total_bytes
+    for name in ("conventional", "hirise/frame", "hirise/batch", "hirise/reuse"):
+        r = results[name]
+        table.add_row(
+            name,
+            r.stage1_frames if r.system == "hirise" else "-",
+            f"{r.mean_bytes_per_frame / 1024:.1f}",
+            f"{r.mean_energy_per_frame_j * 1e6:.2f}",
+            f"{r.frames_per_second:.0f}",
+            f"{conv_bytes / r.total_bytes:.1f}x",
+        )
+    emit("\n" + table.render())
+
+    per, bat, reuse = (
+        results["hirise/frame"], results["hirise/batch"], results["hirise/reuse"]
+    )
+
+    # 1. Batched stage-1 is bit-identical to the per-frame loop.
+    assert len(bat.outcomes) == len(per.outcomes) == N_FRAMES
+    for a, b in zip(per.outcomes, bat.outcomes):
+        assert np.array_equal(a.stage1_image, b.stage1_image)
+        assert len(a.roi_crops) == len(b.roi_crops)
+        for ca, cb in zip(a.roi_crops, b.roi_crops):
+            assert np.array_equal(ca, cb)
+        assert a.ledger.breakdown() == b.ledger.breakdown()
+        assert a.stage1_conversions == b.stage1_conversions
+        assert a.stage2_conversions == b.stage2_conversions
+    assert bat.total_bytes == per.total_bytes
+    emit("check 1: batched stage-1 bit-identical to the per-frame loop")
+
+    # 2. Temporal ROI reuse strictly beats per-frame HiRISE on both axes.
+    assert reuse.reused_frames > 0
+    assert reuse.total_bytes < per.total_bytes
+    assert reuse.total_energy_j < per.total_energy_j
+    for frame in reuse.frames:
+        if frame.reused_rois:
+            assert frame.stage1_bytes == 0 and frame.stage1_conversions == 0
+    # The speed claim is wall-clock; samples on a shared CI runner can be
+    # stalled by the scheduler, so compare the best of five timed runs per
+    # policy — the minimum estimates each policy's intrinsic cost, and the
+    # intrinsic gap is large (reuse skips the detector and the pooled
+    # conversion on most frames).  The deterministic work skipped is
+    # already asserted above, independent of timing.
+    per_time = min(per.wall_time_s, *(_timed_run(clip, "frame") for _ in range(4)))
+    reuse_time = min(
+        reuse.wall_time_s, *(_timed_run(clip, "reuse") for _ in range(4))
+    )
+    assert reuse_time < per_time
+    emit(
+        f"check 2: reuse skipped stage 1 on {reuse.reused_frames}/{reuse.n_frames} "
+        f"frames -> {per.total_bytes / reuse.total_bytes:.2f}x fewer bytes, "
+        f"{per_time / reuse_time:.2f}x faster (best of 5)"
+    )
+
+    # 3. Every HiRISE policy transfers far less than the conventional stream.
+    for name in ("hirise/frame", "hirise/batch", "hirise/reuse"):
+        assert results[name].total_bytes * 2 < conv_bytes
+    emit("check 3: every HiRISE policy moves <50% of the conventional bytes")

@@ -1,105 +1,86 @@
 #!/usr/bin/env python
-"""Video extension: amortizing stage 1 over a clip with ROI tracking.
+"""Streaming HiRISE: the `repro.stream` subsystem on a synthetic clip.
 
-The paper evaluates single frames; real deployments stream video.  Running
-the pooled-frame conversion + detector on *every* frame wastes most of what
-HiRISE saves, so :class:`repro.core.VideoHiRISEPipeline` runs stage 1 only
-on keyframes and extrapolates the ROIs in between (constant-velocity
-tracking with a safety margin).  This script synthesizes a clip of moving
-pedestrians and reports the per-frame energy under three policies.
+The paper evaluates single frames; real deployments stream video.  This
+script runs the same pedestrian clip under four policies and prints the
+cumulative stream ledger for each:
+
+* **conventional**   — ship every full frame (Fig. 2a, streamed);
+* **hirise/frame**   — the two-stage HiRISE flow on every frame;
+* **hirise/batch**   — same results bit-for-bit, but stage-1 exposure +
+  analog pooling vectorized over 12-frame windows;
+* **hirise/reuse**   — temporal ROI reuse: frames whose stage-1 results
+  proved stable (IoU-gated) skip the pooled conversion *and* the detector,
+  reading only tracker-predicted windows.
 
 Run:  python examples/video_stream.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench import Table
-from repro.core import HiRISEConfig, HiRISEPipeline, VideoHiRISEPipeline
-from repro.datasets.shapes import draw_person
-from repro.datasets.textures import colorize, value_noise
-from repro.ml import Detection
+from repro.core import ConventionalPipeline, HiRISEConfig, HiRISEPipeline
+from repro.stream import (
+    StreamRunner,
+    TemporalROIReuse,
+    ground_truth_detector,
+    pedestrian_clip,
+)
 
-ARRAY_W, ARRAY_H = 640, 480
-N_FRAMES = 12
+N_FRAMES = 32
+RESOLUTION = (256, 192)
 
 
-def synthesize_clip(seed: int = 4):
-    """Pedestrians walking horizontally over a textured plaza."""
-    rng = np.random.default_rng(seed)
-    backdrop = colorize(
-        value_noise((ARRAY_H, ARRAY_W), rng, octaves=4), (0.5, 0.49, 0.47),
-        (0.66, 0.64, 0.61),
+def hirise_runner(clip, **runner_kwargs):
+    """A fresh HiRISE pipeline + runner (stand-in stage-1 model)."""
+    detect, on_frame = ground_truth_detector(clip, label="person")
+    pipeline = HiRISEPipeline(
+        detector=detect,
+        config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
     )
-    walkers = [
-        # (start x, y, height, velocity px/frame)
-        (60.0, 120.0, 140.0, 9.0),
-        (420.0, 260.0, 110.0, -7.0),
-        (250.0, 80.0, 90.0, 5.0),
-    ]
-    frames, gt = [], []
-    for t in range(N_FRAMES):
-        canvas = backdrop.copy()
-        boxes = []
-        for i, (x0, y, h, v) in enumerate(walkers):
-            cx = x0 + v * t
-            body, _ = draw_person(
-                canvas, np.random.default_rng((seed, i)), cx, y, h, 0.3, 0.55
-            )
-            boxes.append(body)
-        frames.append(np.clip(canvas, 0, 1))
-        gt.append(boxes)
-    return frames, gt
-
-
-def gt_detector_factory(gt_per_frame):
-    """A stand-in stage-1 model that reads ground truth (pooled coords).
-
-    Keeps the demo focused on the *amortization* accounting rather than
-    detector quality; swap in ``CorrelationDetector`` for the real thing.
-    """
-    state = {"frame": 0}
-
-    def detect(pooled_frame):
-        k = ARRAY_W // pooled_frame.shape[1]
-        boxes = gt_per_frame[min(state["frame"], len(gt_per_frame) - 1)]
-        return [
-            Detection("person", 0.9, x / k, y / k, w / k, h / k)
-            for x, y, w, h in boxes
-        ]
-
-    return detect, state
+    return StreamRunner(pipeline, **runner_kwargs), on_frame
 
 
 def main() -> None:
-    frames, gt = synthesize_clip()
+    clip = pedestrian_clip(n_frames=N_FRAMES, resolution=RESOLUTION, seed=4)
+
+    policies = {}
+    detect, on_frame = ground_truth_detector(clip, label="person")
+    runner = StreamRunner(ConventionalPipeline(detector=detect))
+    policies["conventional"] = runner.run(clip.frames, on_frame=on_frame)
+
+    runner, on_frame = hirise_runner(clip)
+    policies["hirise/frame"] = runner.run(clip.frames, on_frame=on_frame)
+
+    runner, on_frame = hirise_runner(clip, batch_size=12)
+    policies["hirise/batch"] = runner.run(clip.frames, on_frame=on_frame)
+
+    runner, on_frame = hirise_runner(clip, reuse=TemporalROIReuse(max_reuse=3))
+    policies["hirise/reuse"] = runner.run(clip.frames, on_frame=on_frame)
+
     table = Table(
-        "video policies: per-clip sensor energy and transfer",
-        ["policy", "keyframes", "energy uJ/frame", "transfer kB/frame"],
-        aligns=["l", "r", "r", "r"],
+        f"stream policies: {N_FRAMES} frames at {RESOLUTION[0]}x{RESOLUTION[1]}",
+        ["policy", "stage-1 runs", "reused", "kB/frame", "uJ/frame", "frames/s"],
+        aligns=["l", "r", "r", "r", "r", "r"],
     )
-
-    for interval, label in ((1, "stage 1 every frame"),
-                            (3, "keyframe every 3"),
-                            (6, "keyframe every 6")):
-        detect, state = gt_detector_factory(gt)
-        pipeline = HiRISEPipeline(
-            detector=detect,
-            config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+    for name, outcome in policies.items():
+        table.add_row(
+            name,
+            outcome.stage1_frames if outcome.system == "hirise" else "-",
+            outcome.reused_frames,
+            f"{outcome.mean_bytes_per_frame / 1024:.1f}",
+            f"{outcome.mean_energy_per_frame_j * 1e6:.2f}",
+            f"{outcome.frames_per_second:.0f}",
         )
-        video = VideoHiRISEPipeline(pipeline, keyframe_interval=interval)
-        results = video.run(
-            frames, on_frame=lambda i: state.update(frame=i)
-        )
-        energy = np.mean([r.energy for r in results]) * 1e6
-        transfer = np.mean([r.transfer_bytes for r in results]) / 1000
-        n_keys = sum(r.is_keyframe for r in results)
-        table.add_row(label, n_keys, f"{energy:.2f}", f"{transfer:.1f}")
-
     table.print()
-    print("tracked frames skip the pooled-frame conversion entirely; the\n"
-          "keyframe interval trades stage-1 energy against ROI-window slack.")
+
+    reuse = policies["hirise/reuse"]
+    print()
+    print(reuse.report())
+    print()
+    print("reused frames pay zero stage-1 bytes/conversions — the pooled\n"
+          "readout and the detector are skipped outright; the reuse policy\n"
+          "revalidates with a full stage-1 run whenever stability decays.")
 
 
 if __name__ == "__main__":

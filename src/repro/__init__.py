@@ -16,6 +16,8 @@ and Selective ROI.  The package provides:
 * :mod:`repro.transfer` — sensor<->processor link accounting.
 * :mod:`repro.core` — the HiRISE system: ROI algebra, the Table 1 cost
   model, the energy model, and end-to-end pipelines.
+* :mod:`repro.stream` — the video layer: stream runner, temporal ROI
+  reuse, batched stage-1 readout, and cumulative stream accounting.
 
 The most commonly used names are re-exported lazily at the top level so that
 ``import repro.analog`` does not pay for the ML stack and vice versa.
@@ -34,6 +36,9 @@ _EXPORTS = {
     "EnergyModel": "repro.core",
     "conventional_costs": "repro.core",
     "hirise_costs": "repro.core",
+    "StreamRunner": "repro.stream",
+    "StreamOutcome": "repro.stream",
+    "TemporalROIReuse": "repro.stream",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

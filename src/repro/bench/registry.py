@@ -80,6 +80,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_table3_end_to_end.py",
             ("repro.core", "repro.memory", "repro.ml", "repro.datasets"),
         ),
+        Experiment(
+            "stream",
+            "Ext. A",
+            "Streaming video: frames/sec and transfer — per-frame vs batched vs temporal ROI reuse",
+            "benchmarks/bench_stream_throughput.py",
+            ("repro.stream", "repro.core", "repro.sensor"),
+        ),
     )
 }
 

@@ -138,6 +138,132 @@ class HiRISEPipeline:
     pooling_model: AnalogPoolingModel | None = None
     link: LinkModel = field(default_factory=LinkModel)
 
+    # -- phases ------------------------------------------------------------------
+    #
+    # ``run()`` composes the methods below; callers that amortize work over
+    # many frames (``repro.stream``) re-enter the same code path at phase
+    # granularity: batched stage-1 readout feeds ``complete_from_stage1``,
+    # and temporal ROI reuse calls ``run_stage2_only``.
+
+    def build_readout(
+        self, image: np.ndarray | PixelArray, frame_seed: int = 0
+    ) -> SensorReadout:
+        """Expose the scene and bind this pipeline's readout chain to it."""
+        return _build_readout(
+            image, self.config.adc_bits, self.noise, self.pooling_model, frame_seed
+        )
+
+    def read_stage1(self, readout: SensorReadout, ledger: TransferLedger):
+        """Stage-1 sensor work: pooled conversion, logged on the ledger."""
+        stage1 = readout.read_compressed(
+            self.config.pool_k, grayscale=self.config.grayscale_stage1
+        )
+        ledger.add_stage1_frame(stage1.data_bytes)
+        return stage1
+
+    def detect(self, stage1_image: np.ndarray) -> tuple[list, list[ROI]]:
+        """Run the stage-1 model and lift its boxes to array coordinates.
+
+        Returns:
+            ``(detections, candidates)`` — the raw model outputs and the
+            score-filtered candidate ROIs scaled by ``pool_k``.
+        """
+        if self.detector is None:
+            raise ValueError("pipeline has no detector; pass rois= explicitly")
+        cfg = self.config
+        detections = list(self.detector(stage1_image))
+        candidates = [
+            ROI.from_detection(d, scale=cfg.pool_k)
+            for d in detections
+            if getattr(d, "score", 1.0) >= cfg.score_threshold
+        ]
+        return detections, candidates
+
+    def condition_rois(self, candidates: Sequence[ROI], width: int, height: int) -> list[ROI]:
+        """Apply the selection encoder's conditioning to candidate ROIs."""
+        cfg = self.config
+        return prepare_rois(
+            candidates,
+            width,
+            height,
+            pad_fraction=cfg.roi_pad_fraction,
+            min_side_px=cfg.min_roi_px,
+            max_rois=cfg.max_rois,
+            drop_contained=cfg.dedup_contained,
+            merge_iou=cfg.merge_roi_iou,
+        )
+
+    def run_stage2(
+        self,
+        readout: SensorReadout,
+        conditioned: Sequence[ROI],
+        ledger: TransferLedger,
+        dedup_contained: bool = False,
+    ) -> tuple[object, list[object]]:
+        """Stage-2 sensor work + task model: ROI readout, logged, classified."""
+        stage2 = readout.read_rois(conditioned, dedup_contained=dedup_contained)
+        ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
+        predictions: list[object] = []
+        if self.classifier is not None:
+            predictions = [self.classifier(crop) for crop in stage2.images]
+        return stage2, predictions
+
+    def complete_from_stage1(
+        self,
+        readout: SensorReadout,
+        stage1,
+        ledger: TransferLedger,
+        rois: Sequence[ROI] | None = None,
+    ) -> PipelineOutcome:
+        """Everything after the stage-1 readout: detect, feed back, stage 2.
+
+        Args:
+            readout: the (possibly batch-produced) sensor readout whose
+                stage-1 conversion already happened.
+            stage1: the stage-1 :class:`~repro.sensor.ReadoutResult`.
+            ledger: ledger the stage-1 transfer was already logged on.
+            rois: known ROIs overriding the detector.
+        """
+        array = readout.array
+        detections: list[object] = []
+        if rois is None:
+            detections, candidates = self.detect(stage1.images)
+        else:
+            candidates = list(rois)
+
+        conditioned = self.condition_rois(candidates, array.width, array.height)
+        ledger.add_roi_descriptors(len(conditioned))
+
+        stage2, predictions = self.run_stage2(readout, conditioned, ledger)
+
+        energy = self.energy_model.from_conversions(
+            stage1_conversions=stage1.conversions,
+            stage2_conversions=stage2.conversions,
+            pooled_outputs=stage1.conversions,
+        )
+        # Eq. 2: the pooled frame is dropped before stage-2 crops arrive;
+        # crops are processed one at a time, so the largest crop bounds M2.
+        # Crop memory is modeled like every other image buffer: one stored
+        # sample per conversion (`.size` is an element count, not bytes).
+        sample_bytes = readout.adc.bytes_per_sample()
+        largest_crop = max((c.size for c in stage2.images), default=0) * sample_bytes
+        peak_memory = max(stage1.data_bytes, largest_crop)
+
+        return PipelineOutcome(
+            system="hirise",
+            array_resolution=array.resolution,
+            stage1_image=stage1.images,
+            rois=conditioned,
+            roi_crops=list(stage2.images),
+            predictions=predictions,
+            detections=detections,
+            ledger=ledger,
+            energy=energy,
+            stage1_conversions=stage1.conversions,
+            stage2_conversions=stage2.conversions,
+            peak_image_memory_bytes=peak_memory,
+        )
+
     def run(
         self,
         image: np.ndarray | PixelArray,
@@ -156,73 +282,71 @@ class HiRISEPipeline:
         Returns:
             :class:`PipelineOutcome`.
         """
-        cfg = self.config
-        readout = _build_readout(
-            image, cfg.adc_bits, self.noise, self.pooling_model, frame_seed
-        )
-        array = readout.array
+        readout = self.build_readout(image, frame_seed)
         ledger = TransferLedger(link=self.link)
+        stage1 = self.read_stage1(readout, ledger)
+        return self.complete_from_stage1(readout, stage1, ledger, rois=rois)
 
-        # -- Stage 1: in-sensor compression + detection ----------------------
-        stage1 = readout.read_compressed(cfg.pool_k, grayscale=cfg.grayscale_stage1)
-        ledger.add_stage1_frame(stage1.data_bytes)
+    def run_stage2_only(
+        self,
+        image: np.ndarray | PixelArray,
+        rois: Sequence[ROI],
+        frame_seed: int = 0,
+    ) -> PipelineOutcome:
+        """Selective readout of known windows with *no* stage-1 cost.
 
-        detections: list[object] = []
-        if rois is None:
-            if self.detector is None:
-                raise ValueError("pipeline has no detector; pass rois= explicitly")
-            detections = list(self.detector(stage1.images))
-            candidates = [
-                ROI.from_detection(d, scale=cfg.pool_k)
-                for d in detections
-                if getattr(d, "score", 1.0) >= cfg.score_threshold
-            ]
-        else:
-            candidates = list(rois)
+        This is the payoff of temporal ROI reuse on video: when recent
+        stage-1 results already say where the objects are, the pooled-frame
+        conversion and the detector are skipped entirely — the frame costs
+        only the descriptor feedback and the ROI pixels.
 
-        conditioned = prepare_rois(
-            candidates,
-            array.width,
-            array.height,
-            pad_fraction=cfg.roi_pad_fraction,
-            min_side_px=cfg.min_roi_px,
-            max_rois=cfg.max_rois,
-            drop_contained=cfg.dedup_contained,
-            merge_iou=cfg.merge_roi_iou,
-        )
+        Args:
+            image: scene image or :class:`PixelArray` for this frame.
+            rois: readout windows in array coordinates (e.g. tracker
+                predictions); they are clipped and size-filtered but *not*
+                padded (predicted windows carry their own safety margin).
+            frame_seed: temporal-noise seed for this exposure.
+
+        Returns:
+            :class:`PipelineOutcome` with an empty stage-1 image and zero
+            stage-1 conversions/bytes.
+        """
+        cfg = self.config
+        readout = self.build_readout(image, frame_seed)
+        array = readout.array
+        conditioned = [
+            clipped
+            for roi in rois
+            if (clipped := roi.clip(array.width, array.height)) is not None
+            and clipped.w >= cfg.min_roi_px
+            and clipped.h >= cfg.min_roi_px
+        ]
+        ledger = TransferLedger(link=self.link)
         ledger.add_roi_descriptors(len(conditioned))
-
-        # -- Stage 2: selective readout + task model -------------------------
-        stage2 = readout.read_rois(conditioned, dedup_contained=False)
-        ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
-
-        predictions: list[object] = []
-        if self.classifier is not None:
-            predictions = [self.classifier(crop) for crop in stage2.images]
+        stage2, predictions = self.run_stage2(
+            readout, conditioned, ledger, dedup_contained=cfg.dedup_contained
+        )
 
         energy = self.energy_model.from_conversions(
-            stage1_conversions=stage1.conversions,
+            stage1_conversions=0,
             stage2_conversions=stage2.conversions,
-            pooled_outputs=stage1.conversions,
+            pooled_outputs=0,
         )
-        # Eq. 2: the pooled frame is dropped before stage-2 crops arrive;
-        # crops are processed one at a time, so the largest crop bounds M2.
-        largest_crop = max((c.size for c in stage2.images), default=0)
-        peak_memory = max(stage1.data_bytes, largest_crop)
-
+        largest = max(
+            (c.size for c in stage2.images), default=0
+        ) * readout.adc.bytes_per_sample()
         return PipelineOutcome(
             system="hirise",
             array_resolution=array.resolution,
-            stage1_image=stage1.images,
+            stage1_image=np.zeros((0, 0)),
             rois=conditioned,
             roi_crops=list(stage2.images),
             predictions=predictions,
-            detections=detections,
             ledger=ledger,
             energy=energy,
-            stage1_conversions=stage1.conversions,
+            stage1_conversions=0,
             stage2_conversions=stage2.conversions,
-            peak_image_memory_bytes=peak_memory,
+            peak_image_memory_bytes=largest,
         )
 
 

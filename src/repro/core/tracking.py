@@ -40,6 +40,11 @@ class Track:
         age: frames since the track was last confirmed by a detector.
         track_id: stable identifier.
         hits: number of detector confirmations received so far.
+        anchor_cx, anchor_cy: box center at the last *confirmation*.  The
+            velocity observation must be measured from here — ``roi`` may
+            have been advanced by :meth:`ROITracker.predict` in between, and
+            measuring displacement from an already-advanced box would
+            under-estimate the velocity by exactly the part applied.
     """
 
     roi: ROI
@@ -48,18 +53,16 @@ class Track:
     age: int = 0
     track_id: int = 0
     hits: int = 1
+    anchor_cx: float = field(default=0.0, init=False, repr=False)
+    anchor_cy: float = field(default=0.0, init=False, repr=False)
 
-    def predicted(self, inflate: float) -> ROI:
-        """Constant-velocity forecast, inflated by ``inflate`` per side."""
-        moved = ROI(
-            int(round(self.roi.x + self.vx)),
-            int(round(self.roi.y + self.vy)),
-            self.roi.w,
-            self.roi.h,
-            self.roi.score,
-            self.roi.label,
-        )
-        return moved.pad(inflate)
+    def __post_init__(self) -> None:
+        self.rebase_anchor()
+
+    def rebase_anchor(self) -> None:
+        """Pin the velocity-observation anchor to the current box center."""
+        self.anchor_cx = self.roi.x + self.roi.w / 2.0
+        self.anchor_cy = self.roi.y + self.roi.h / 2.0
 
 
 @dataclass
@@ -94,6 +97,11 @@ class ROITracker:
     def tracks(self) -> tuple[Track, ...]:
         return tuple(self._tracks)
 
+    def reset(self) -> None:
+        """Drop all tracks and identifiers (e.g. at a new clip boundary)."""
+        self._tracks = []
+        self._next_id = 0
+
     def confirm(self, detections: Sequence[ROI]) -> list[Track]:
         """Update tracks with a fresh stage-1 detection set (keyframe).
 
@@ -115,10 +123,13 @@ class ROITracker:
             if best_j < 0:
                 # Distance-gate fallback: closest detection within the
                 # plausible travel of this track since its last confirm.
+                # Plausible travel spans the frames since the last confirm
+                # plus the confirming frame itself (the ``age + 1``
+                # convention of the velocity estimate below).
                 gate = (
                     self.match_dist
                     * max(track.roi.w, track.roi.h)
-                    * max(track.age, 1)
+                    * (track.age + 1)
                 )
                 best_d = gate
                 cx = track.roi.x + track.roi.w / 2.0
@@ -135,13 +146,16 @@ class ROITracker:
             if best_j >= 0:
                 det = detections[best_j]
                 unmatched.discard(best_j)
-                old_cx = track.roi.x + track.roi.w / 2.0
-                old_cy = track.roi.y + track.roi.h / 2.0
                 new_cx = det.x + det.w / 2.0
                 new_cy = det.y + det.h / 2.0
-                frames = max(track.age, 1)
-                raw_vx = (new_cx - old_cx) / frames
-                raw_vy = (new_cy - old_cy) / frames
+                # Displacement since the last confirmation (the anchor) —
+                # not since the possibly prediction-advanced current box.
+                # ``age`` counts the frames *between* the two confirmations
+                # (predictions and misses); the confirming frame itself is
+                # one more step.
+                frames = track.age + 1
+                raw_vx = (new_cx - track.anchor_cx) / frames
+                raw_vy = (new_cy - track.anchor_cy) / frames
                 if track.hits == 1:
                     # First re-confirmation: adopt the observed velocity
                     # outright (EMA from the zero prior would halve it).
@@ -151,6 +165,7 @@ class ROITracker:
                     track.vx = alpha * track.vx + (1 - alpha) * raw_vx
                     track.vy = alpha * track.vy + (1 - alpha) * raw_vy
                 track.roi = det
+                track.rebase_anchor()
                 track.age = 0
                 track.hits += 1
                 survivors.append(track)
@@ -269,50 +284,4 @@ class VideoHiRISEPipeline:
         self, frame: np.ndarray, rois: Sequence[ROI], frame_seed: int
     ) -> PipelineOutcome:
         """Stage-2-only readout of predicted windows (no stage-1 cost)."""
-        from ..sensor import ADCModel, NoiseModel, PixelArray, SensorReadout
-        from ..transfer import TransferLedger
-
-        cfg = self.pipeline.config
-        array = PixelArray.from_image(
-            frame, noise=self.pipeline.noise or NoiseModel.noiseless()
-        )
-        readout = SensorReadout(
-            array,
-            adc=ADCModel(bits=cfg.adc_bits, v_ref=array.vdd),
-            frame_seed=frame_seed,
-        )
-        conditioned = [
-            clipped
-            for roi in rois
-            if (clipped := roi.clip(array.width, array.height)) is not None
-            and clipped.w >= cfg.min_roi_px
-            and clipped.h >= cfg.min_roi_px
-        ]
-        ledger = TransferLedger(link=self.pipeline.link)
-        ledger.add_roi_descriptors(len(conditioned))
-        stage2 = readout.read_rois(conditioned, dedup_contained=cfg.dedup_contained)
-        ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
-
-        predictions: list[object] = []
-        if self.pipeline.classifier is not None:
-            predictions = [self.pipeline.classifier(c) for c in stage2.images]
-
-        energy = self.pipeline.energy_model.from_conversions(
-            stage1_conversions=0,
-            stage2_conversions=stage2.conversions,
-            pooled_outputs=0,
-        )
-        largest = max((c.size for c in stage2.images), default=0)
-        return PipelineOutcome(
-            system="hirise",
-            array_resolution=array.resolution,
-            stage1_image=np.zeros((0, 0)),
-            rois=conditioned,
-            roi_crops=list(stage2.images),
-            predictions=predictions,
-            ledger=ledger,
-            energy=energy,
-            stage1_conversions=0,
-            stage2_conversions=stage2.conversions,
-            peak_image_memory_bytes=largest,
-        )
+        return self.pipeline.run_stage2_only(frame, rois, frame_seed=frame_seed)

@@ -9,8 +9,14 @@ from .adc import ADC_ENERGY_45NM_8BIT, ADCModel
 from .grayscale import LUMA_WEIGHTS, analog_grayscale, digital_grayscale
 from .noise import NoiseModel
 from .pixel_array import PixelArray
-from .pooling import AnalogPoolingModel, block_reduce_mean, digital_avg_pool
+from .pooling import (
+    AnalogPoolingModel,
+    block_reduce_mean,
+    block_reduce_mean_batch,
+    digital_avg_pool,
+)
 from .readout import (
+    BatchSensorReadout,
     ReadoutResult,
     SensorReadout,
     as_box,
@@ -23,6 +29,7 @@ __all__ = [
     "ADC_ENERGY_45NM_8BIT",
     "ADCModel",
     "AnalogPoolingModel",
+    "BatchSensorReadout",
     "LUMA_WEIGHTS",
     "NoiseModel",
     "PixelArray",
@@ -32,6 +39,7 @@ __all__ = [
     "analog_grayscale",
     "as_box",
     "block_reduce_mean",
+    "block_reduce_mean_batch",
     "clip_box",
     "digital_avg_pool",
     "digital_grayscale",

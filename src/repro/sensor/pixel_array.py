@@ -16,10 +16,30 @@ change any of the paper's comparisons, which all happen pre-demosaic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from .noise import NoiseModel
+
+
+def _scene_from_image(image: np.ndarray) -> np.ndarray:
+    """Validate and normalize one scene image to float64 in [0, 1].
+
+    Shared by the single- and batch-exposure constructors so the two paths
+    cannot drift (the batch path guarantees bit-identity with the scalar
+    one).
+    """
+    if image.ndim == 2:
+        image = np.repeat(image[:, :, None], 3, axis=2)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must be (H, W, 3) or (H, W), got {image.shape}")
+    if image.dtype == np.uint8:
+        return image.astype(np.float64) / 255.0
+    scene = np.asarray(image, dtype=np.float64)
+    if scene.size and (scene.min() < -1e-9 or scene.max() > 1.0 + 1e-9):
+        raise ValueError("float image values must lie in [0, 1]")
+    return scene
 
 
 @dataclass
@@ -68,16 +88,7 @@ class PixelArray:
         Returns:
             A new :class:`PixelArray`.
         """
-        if image.ndim == 2:
-            image = np.repeat(image[:, :, None], 3, axis=2)
-        if image.ndim != 3 or image.shape[2] != 3:
-            raise ValueError(f"image must be (H, W, 3) or (H, W), got {image.shape}")
-        if image.dtype == np.uint8:
-            scene = image.astype(np.float64) / 255.0
-        else:
-            scene = np.asarray(image, dtype=np.float64)
-            if scene.size and (scene.min() < -1e-9 or scene.max() > 1.0 + 1e-9):
-                raise ValueError("float image values must lie in [0, 1]")
+        scene = _scene_from_image(image)
         noise = noise or NoiseModel.noiseless()
         voltages = scene * vdd
         if not noise.is_noiseless():
@@ -85,6 +96,46 @@ class PixelArray:
             voltages = voltages * gain + offset
         voltages = np.clip(voltages, 0.0, vdd)
         return cls(voltages=voltages, vdd=vdd, noise=noise)
+
+    @classmethod
+    def from_image_batch(
+        cls,
+        images: "Sequence[np.ndarray]",
+        vdd: float = 1.0,
+        noise: NoiseModel | None = None,
+    ) -> "list[PixelArray]":
+        """Expose N same-size scenes in one vectorized pass.
+
+        The fixed-pattern maps depend only on the noise seed and the frame
+        shape, so they are computed once and broadcast across the stack; all
+        other operations are elementwise.  The result is bit-identical to
+        calling :meth:`from_image` once per frame.
+
+        Args:
+            images: scene images, all of the same spatial size.
+            vdd: full-scale voltage.
+            noise: shared noise model (one sensor sees every frame).
+
+        Returns:
+            One :class:`PixelArray` per input frame.
+        """
+        scenes = [_scene_from_image(image) for image in images]
+        if not scenes:
+            return []
+        if len({s.shape for s in scenes}) > 1:
+            raise ValueError("all frames in a batch must share one resolution")
+
+        noise = noise or NoiseModel.noiseless()
+        voltages = np.stack(scenes)
+        voltages *= vdd
+        if not noise.is_noiseless():
+            gain, offset = noise.fixed_pattern_maps(voltages.shape[1:])
+            voltages *= gain
+            voltages += offset
+        np.clip(voltages, 0.0, vdd, out=voltages)
+        # Per-frame arrays are views into one (N, H, W, 3) block, so batch
+        # consumers (BatchSensorReadout) can recover the stack copy-free.
+        return [cls(voltages=v, vdd=vdd, noise=noise) for v in voltages]
 
     # -- geometry -----------------------------------------------------------------
 

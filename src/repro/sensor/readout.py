@@ -169,7 +169,17 @@ class SensorReadout:
         pooled_v = self.pooling.pool(
             self.array.voltages, k, self.array.vdd, grayscale=grayscale
         )
-        image, n = self._digitize(pooled_v)
+        return self.digitize_pooled(pooled_v)
+
+    def digitize_pooled(self, pooled_voltages: np.ndarray) -> ReadoutResult:
+        """Convert an externally-pooled frame through this readout's chain.
+
+        This is the digitization half of :meth:`read_compressed` — it draws
+        the same temporal-noise/ADC random stream and advances the readout
+        counter identically, so batched pooling (see
+        :class:`BatchSensorReadout`) stays bit-identical to the scalar path.
+        """
+        image, n = self._digitize(pooled_voltages)
         return ReadoutResult(
             images=image,
             conversions=n,
@@ -217,3 +227,114 @@ class SensorReadout:
             adc_energy=self.adc.energy(conversions),
             boxes=clipped,
         )
+
+
+@dataclass
+class BatchSensorReadout:
+    """Vectorized stage-1 readout over a stack of same-size exposures.
+
+    Video streams expose one frame after another onto the *same* silicon:
+    the fixed-pattern maps, pooling mismatch, and ADC are shared, and only
+    the scene and the temporal-noise stream differ per frame.  That makes
+    the stage-1 heavy lifting — exposure scaling and k x k analog pooling
+    over the full-resolution array — a single NumPy pass over an
+    ``(N, H, W, 3)`` stack instead of a Python loop.
+
+    Per-frame digitization still draws each frame's own random stream (the
+    part that *must* differ per exposure), so every returned
+    :class:`ReadoutResult` is bit-identical to what
+    ``SensorReadout(array_i, ..., frame_seed=seed_i).read_compressed(...)``
+    would produce, and the per-frame :class:`SensorReadout` objects remain
+    available for the stage-2 ROI reads.
+
+    Attributes:
+        readouts: one scalar readout per frame (must share one pooling
+            model and full-scale voltage; :meth:`from_images` guarantees
+            it).
+    """
+
+    readouts: list[SensorReadout]
+    #: The frames' (N, H, W, 3) voltage block when the readouts were built
+    #: from one batch exposure; None for hand-assembled instances, which
+    #: fall back to stacking (one copy) at read time.
+    _stack: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_images(
+        cls,
+        frames: Sequence[np.ndarray],
+        adc_bits: int = 8,
+        noise: NoiseModel | None = None,
+        pooling: AnalogPoolingModel | None = None,
+        frame_seeds: Sequence[int] | None = None,
+        vdd: float = 1.0,
+    ) -> "BatchSensorReadout":
+        """Expose a clip in one pass and bind per-frame readout chains.
+
+        Args:
+            frames: scene images, all of one resolution.
+            adc_bits: converter precision (shared).
+            noise: sensor noise model (shared silicon).
+            pooling: behavioral pooling model (shared circuitry).
+            frame_seeds: per-frame temporal seeds; defaults to ``range(N)``.
+            vdd: full-scale voltage.
+        """
+        arrays = PixelArray.from_image_batch(
+            frames, vdd=vdd, noise=noise or NoiseModel.noiseless()
+        )
+        if frame_seeds is None:
+            frame_seeds = range(len(arrays))
+        seeds = list(frame_seeds)
+        if len(seeds) != len(arrays):
+            raise ValueError(
+                f"{len(seeds)} frame seeds for {len(arrays)} frames"
+            )
+        pooling = pooling or AnalogPoolingModel()
+        readouts = [
+            SensorReadout(
+                array=array,
+                adc=ADCModel(bits=adc_bits, v_ref=array.vdd),
+                pooling=pooling,
+                frame_seed=seed,
+            )
+            for array, seed in zip(arrays, seeds)
+        ]
+        # from_image_batch exposes every frame as a view into one block;
+        # keep that block so read_compressed never has to re-stack.
+        stack = arrays[0].voltages.base if arrays else None
+        if stack is not None and stack.shape != (len(arrays), *arrays[0].voltages.shape):
+            stack = None
+        return cls(readouts=readouts, _stack=stack)
+
+    def __len__(self) -> int:
+        return len(self.readouts)
+
+    def read_compressed(self, k: int, grayscale: bool = False) -> list[ReadoutResult]:
+        """Stage 1 for every frame: one vectorized pooling pass, then
+        per-frame digitization on each frame's own random stream.
+
+        Returns:
+            Per-frame :class:`ReadoutResult` objects, bit-identical to the
+            scalar :meth:`SensorReadout.read_compressed` loop.
+        """
+        if not self.readouts:
+            return []
+        first = self.readouts[0]
+        if any(
+            r.pooling is not first.pooling or r.array.vdd != first.array.vdd
+            for r in self.readouts
+        ):
+            raise ValueError(
+                "batched stage-1 needs one shared pooling model and vdd "
+                "across all frames (they model the same silicon)"
+            )
+        stack = self._stack
+        if stack is None:
+            stack = np.stack([r.array.voltages for r in self.readouts])
+        pooled = first.pooling.pool_batch(
+            stack, k, first.array.vdd, grayscale=grayscale
+        )
+        return [
+            readout.digitize_pooled(pooled_v)
+            for readout, pooled_v in zip(self.readouts, pooled)
+        ]

@@ -1,0 +1,39 @@
+"""Streaming video subsystem: HiRISE over frame sequences.
+
+The paper evaluates single exposures; deployments watch video.  This
+package scales the single-frame pipelines to streams along three axes:
+
+* :class:`StreamRunner` — drives a pipeline over any frame iterable with
+  per-frame seeds, in per-frame, batched, or ROI-reuse mode;
+* :class:`TemporalROIReuse` — an IoU-gated policy that skips the pooled
+  readout *and* the stage-1 detector on temporally-stable frames;
+* :class:`StreamOutcome` / :class:`FrameStats` — the cumulative ledger:
+  transfer, energy, conversions, memory, and throughput across the stream;
+* :mod:`repro.stream.source` — synthetic pedestrian/drone clips with ground
+  truth, the moving counterparts of the paper's workloads.
+"""
+
+from .ledger import FrameStats, StreamOutcome
+from .reuse import ReuseDecision, TemporalROIReuse, rois_stable
+from .runner import StreamRunner
+from .source import (
+    Actor,
+    SyntheticClip,
+    drone_traffic_clip,
+    ground_truth_detector,
+    pedestrian_clip,
+)
+
+__all__ = [
+    "Actor",
+    "FrameStats",
+    "ReuseDecision",
+    "StreamOutcome",
+    "StreamRunner",
+    "SyntheticClip",
+    "TemporalROIReuse",
+    "drone_traffic_clip",
+    "ground_truth_detector",
+    "pedestrian_clip",
+    "rois_stable",
+]

@@ -1,0 +1,230 @@
+"""The stream runner: HiRISE (or the baseline) over multi-frame video.
+
+:class:`StreamRunner` turns the single-exposure pipelines into a video
+engine with three execution modes, all sharing the phase methods of
+:class:`~repro.core.HiRISEPipeline`:
+
+* **per-frame** — the reference: every frame pays the full two-stage flow;
+* **batched** (``batch_size > 1``) — stage-1 exposure + analog pooling for a
+  window of frames runs as one vectorized NumPy pass
+  (:class:`~repro.sensor.BatchSensorReadout`), bit-identical to the
+  per-frame loop but without its Python overhead;
+* **reuse** (``reuse=...``) — a :class:`~repro.stream.TemporalROIReuse`
+  policy skips the pooled conversion *and* the stage-1 detector on frames
+  where recent results proved stable, reading only predicted ROI windows.
+
+Every mode returns a :class:`~repro.stream.StreamOutcome` whose per-frame
+rows and cumulative totals make the modes directly comparable — the
+quantities ``benchmarks/bench_stream_throughput.py`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
+from ..sensor import BatchSensorReadout
+from ..transfer import TransferLedger
+from .ledger import FrameStats, StreamOutcome
+from .reuse import TemporalROIReuse
+
+
+_EXHAUSTED = object()
+
+
+def _seeded(frames: Iterable[np.ndarray], frame_seeds) -> Iterator[tuple[int, int, np.ndarray]]:
+    """Yield ``(index, seed, frame)``; seeds default to the frame index.
+
+    Never materializes ``frames`` — generators stream through untouched, so
+    the runner's bounded-memory contract holds with explicit seeds too.  A
+    length mismatch is raised eagerly when both sizes are known, otherwise
+    at the point one iterable runs dry.
+    """
+    if frame_seeds is None:
+        for idx, frame in enumerate(frames):
+            yield idx, idx, frame
+        return
+    if hasattr(frame_seeds, "__len__") and hasattr(frames, "__len__"):
+        if len(frame_seeds) != len(frames):
+            raise ValueError(
+                f"{len(frame_seeds)} frame seeds for {len(frames)} frames"
+            )
+    # Explicit dual iteration rather than zip(strict=True): the strict-zip
+    # mismatch error is only distinguishable from a ValueError raised
+    # *inside* the iterables by its message text, and an error from a frame
+    # source must surface untouched with its own traceback.
+    frame_it, seed_it = iter(frames), iter(frame_seeds)
+    idx = 0
+    while True:
+        frame = next(frame_it, _EXHAUSTED)
+        seed = next(seed_it, _EXHAUSTED)
+        if frame is _EXHAUSTED and seed is _EXHAUSTED:
+            return
+        if frame is _EXHAUSTED or seed is _EXHAUSTED:
+            raise ValueError("frame seeds and frames have different lengths")
+        yield idx, seed, frame
+        idx += 1
+
+
+@dataclass
+class StreamRunner:
+    """Runs a pipeline over a frame sequence and keeps the books.
+
+    Attributes:
+        pipeline: a :class:`~repro.core.HiRISEPipeline` (all modes) or a
+            :class:`~repro.core.ConventionalPipeline` (per-frame only).
+        reuse: optional temporal ROI reuse policy; when set, frames the
+            policy deems stable skip stage 1 entirely.  Mutually exclusive
+            with ``batch_size > 1`` (reuse decisions are sequential).
+        batch_size: stage-1 frames vectorized per NumPy pass (HiRISE only).
+        keep_outcomes: retain every full :class:`PipelineOutcome` on the
+            stream outcome (costs memory; off by default so long streams
+            stay ledger-sized).
+    """
+
+    pipeline: HiRISEPipeline | ConventionalPipeline
+    reuse: TemporalROIReuse | None = None
+    batch_size: int = 1
+    keep_outcomes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.reuse is not None and self.batch_size > 1:
+            raise ValueError(
+                "temporal ROI reuse decides frame-by-frame; it cannot be "
+                "combined with batched stage-1 readout"
+            )
+        if isinstance(self.pipeline, ConventionalPipeline):
+            if self.reuse is not None or self.batch_size > 1:
+                raise ValueError(
+                    "reuse/batching are HiRISE features; the conventional "
+                    "baseline ships every frame in full"
+                )
+
+    def run(
+        self,
+        frames: Iterable[np.ndarray],
+        frame_seeds: Sequence[int] | None = None,
+        on_frame: Callable[[int], None] | None = None,
+    ) -> StreamOutcome:
+        """Process a frame sequence end to end.
+
+        Args:
+            frames: the clip — any iterable of ``(H, W, 3)`` images (a list,
+                a generator, a dataset loader).  Batched mode materializes
+                at most ``batch_size`` frames at a time.
+            frame_seeds: per-frame temporal-noise seeds (default: indices).
+            on_frame: optional callback invoked with the frame index before
+                the frame's *processor-side* work — detector, stage 2 —
+                runs (stateful detectors, loggers).  In batched mode the
+                chunk's sensor-side exposure + pooling happens first, like
+                a real sensor streaming exposures ahead of the processor;
+                per frame, the callback still precedes the detector call.
+
+        Returns:
+            :class:`StreamOutcome` with per-frame stats and totals.
+        """
+        conventional = isinstance(self.pipeline, ConventionalPipeline)
+        outcome = StreamOutcome(
+            system="conventional" if conventional else "hirise"
+        )
+        start = time.perf_counter()
+        if conventional:
+            self._run_per_frame(frames, frame_seeds, on_frame, outcome)
+        elif self.reuse is not None:
+            self._run_with_reuse(frames, frame_seeds, on_frame, outcome)
+        elif self.batch_size > 1:
+            self._run_batched(frames, frame_seeds, on_frame, outcome)
+        else:
+            self._run_per_frame(frames, frame_seeds, on_frame, outcome)
+        outcome.wall_time_s = time.perf_counter() - start
+        return outcome
+
+    # -- modes -------------------------------------------------------------------
+
+    def _record(
+        self,
+        stream: StreamOutcome,
+        idx: int,
+        result,
+        ran_stage1: bool,
+        reused: bool = False,
+        reason: str = "",
+    ) -> None:
+        stats = FrameStats.from_outcome(
+            idx, result, ran_stage1=ran_stage1, reused_rois=reused, reason=reason
+        )
+        stream.append(stats, result if self.keep_outcomes else None)
+
+    def _run_per_frame(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
+        # The conventional baseline has no pooled-readout stage to count.
+        ran_stage1 = isinstance(self.pipeline, HiRISEPipeline)
+        for idx, seed, frame in _seeded(frames, frame_seeds):
+            if on_frame is not None:
+                on_frame(idx)
+            result = self.pipeline.run(frame, frame_seed=seed)
+            self._record(stream, idx, result, ran_stage1=ran_stage1)
+
+    def _run_with_reuse(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
+        policy = self.reuse
+        # Each run() is an independent stream: stale tracks from a previous
+        # clip must never grant reuse on scenes that were never detected.
+        policy.reset()
+        for idx, seed, frame in _seeded(frames, frame_seeds):
+            if on_frame is not None:
+                on_frame(idx)
+            decision = policy.propose()
+            if decision.reuse:
+                result = self.pipeline.run_stage2_only(
+                    frame, decision.rois, frame_seed=seed
+                )
+                self._record(
+                    stream, idx, result,
+                    ran_stage1=False, reused=True, reason=decision.reason,
+                )
+            else:
+                result = self.pipeline.run(frame, frame_seed=seed)
+                policy.observe(result.rois)
+                self._record(
+                    stream, idx, result, ran_stage1=True, reason=decision.reason
+                )
+
+    def _run_batched(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
+        pipeline = self.pipeline
+        cfg = pipeline.config
+        chunk: list[tuple[int, int, np.ndarray]] = []
+
+        def flush() -> None:
+            if not chunk:
+                return
+            batch = BatchSensorReadout.from_images(
+                [frame for _, _, frame in chunk],
+                adc_bits=cfg.adc_bits,
+                noise=pipeline.noise,
+                pooling=pipeline.pooling_model,
+                frame_seeds=[seed for _, seed, _ in chunk],
+            )
+            stage1_results = batch.read_compressed(
+                cfg.pool_k, grayscale=cfg.grayscale_stage1
+            )
+            for (idx, _, _), readout, stage1 in zip(
+                chunk, batch.readouts, stage1_results
+            ):
+                if on_frame is not None:
+                    on_frame(idx)
+                ledger = TransferLedger(link=pipeline.link)
+                ledger.add_stage1_frame(stage1.data_bytes)
+                result = pipeline.complete_from_stage1(readout, stage1, ledger)
+                self._record(stream, idx, result, ran_stage1=True)
+            chunk.clear()
+
+        for idx, seed, frame in _seeded(frames, frame_seeds):
+            chunk.append((idx, seed, frame))
+            if len(chunk) >= self.batch_size:
+                flush()
+        flush()

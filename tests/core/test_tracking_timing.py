@@ -15,12 +15,12 @@ from repro.sensor import ReadoutTimingModel
 
 
 class TestTrack:
-    def test_predicted_moves_and_inflates(self):
+    def test_anchor_follows_roi(self):
         track = Track(roi=ROI(100, 100, 20, 20), vx=5.0, vy=-3.0, age=1)
-        pred = track.predicted(inflate=0.1)
-        assert pred.x < 105  # inflation counteracts some of the shift
-        assert pred.w == 24  # 20 + 2 * round(20*0.1)
-        assert pred.contains(ROI(105, 97, 20, 20))
+        assert (track.anchor_cx, track.anchor_cy) == (110.0, 110.0)
+        track.roi = ROI(120, 100, 20, 20)
+        track.rebase_anchor()
+        assert (track.anchor_cx, track.anchor_cy) == (130.0, 110.0)
 
 
 class TestROITracker:
