@@ -1,0 +1,117 @@
+"""Service batch benchmark: concurrent Engine serving vs sequential runs.
+
+The service layer's promise is that one stateless :class:`Engine` can
+serve a *fleet* of declarative scenarios — different clips, different
+policies — faster than running them one by one, without changing a single
+bit of any result.  This bench serves a six-scenario workload (pedestrian
+and drone clips under per-frame, batched-stage-1, and temporal-reuse
+policies) both ways and enforces:
+
+1. ``run_batch(requests, workers=4)`` is **bit-identical** to sequential
+   ``engine.run`` per request — every per-frame ledger row matches;
+2. the batch path is **strictly faster** wall-clock (best-of-3 per path).
+   Two mechanisms stack: requests over the same ``(source, n_frames,
+   seed)`` share one rendered clip (clip synthesis is ~40% of a request),
+   and the thread pool overlaps requests across cores where available;
+3. the aggregate ledger equals the sum of its per-request parts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.core import HiRISEConfig
+from repro.service import ComponentRef, Engine, ScenarioSpec, SystemSpec
+
+RESOLUTION = (320, 240)
+N_FRAMES = 24
+WORKERS = 4
+ROUNDS = 3
+
+SYSTEM = SystemSpec(
+    system="hirise",
+    config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+    detector=ComponentRef("ground-truth"),
+)
+
+
+def workload() -> list[ScenarioSpec]:
+    """Six requests over two clips: every policy, both workloads."""
+    scenarios = []
+    for source, seed in (("pedestrian", 4), ("drone", 11)):
+        ref = ComponentRef(source, {"resolution": list(RESOLUTION)})
+        common = dict(source=ref, n_frames=N_FRAMES, seed=seed)
+        scenarios += [
+            ScenarioSpec(name=f"{source}/per-frame", **common),
+            ScenarioSpec(name=f"{source}/batched", batch_size=8, **common),
+            ScenarioSpec(
+                name=f"{source}/reuse",
+                policy=ComponentRef("temporal-reuse", {"max_reuse": 3}),
+                **common,
+            ),
+        ]
+    return scenarios
+
+
+def serve_both(engine: Engine, requests: list[ScenarioSpec]):
+    """One timed sample of each path: (sequential results, batch result)."""
+    import time
+
+    start = time.perf_counter()
+    sequential = [engine.run(r) for r in requests]
+    seq_time = time.perf_counter() - start
+    batch = engine.run_batch(requests, workers=WORKERS)
+    return sequential, seq_time, batch
+
+
+def test_service_batch(benchmark, emit):
+    engine = Engine(SYSTEM)
+    requests = workload()
+
+    sequential, seq_time, batch = benchmark.pedantic(
+        serve_both, args=(engine, requests), rounds=1, iterations=1
+    )
+
+    table = Table(
+        f"service batch: {len(requests)} scenarios, {N_FRAMES} frames each "
+        f"at {RESOLUTION[0]}x{RESOLUTION[1]}",
+        ["scenario", "stage-1", "reused", "kB", "uJ"],
+        aligns=["l", "r", "r", "r", "r"],
+    )
+    for result in batch:
+        o = result.outcome
+        table.add_row(
+            result.label, o.stage1_frames, o.reused_frames,
+            f"{o.total_bytes / 1024:.1f}", f"{o.total_energy_j * 1e6:.1f}",
+        )
+    emit("\n" + table.render())
+
+    # 1. Concurrent batch execution is bit-identical to sequential runs.
+    assert len(batch) == len(sequential) == len(requests)
+    for seq_result, batch_result in zip(sequential, batch):
+        assert batch_result.scenario == seq_result.scenario
+        assert batch_result.outcome.frames == seq_result.outcome.frames
+    emit(f"check 1: run_batch(workers={WORKERS}) bit-identical to sequential run()")
+
+    # 2. The batch path wins wall-clock.  Timing on a shared runner is
+    # noisy, so compare the best of three fresh samples per path — the
+    # minimum estimates each path's intrinsic cost.  The batch path's edge
+    # is structural (shared clip synthesis + thread overlap), not a race.
+    seq_best, batch_best = seq_time, batch.wall_time_s
+    for _ in range(ROUNDS - 1):
+        _, seq_t, more = serve_both(engine, requests)
+        seq_best = min(seq_best, seq_t)
+        batch_best = min(batch_best, more.wall_time_s)
+    assert batch_best < seq_best
+    emit(
+        f"check 2: batch {batch_best * 1e3:.0f} ms vs sequential "
+        f"{seq_best * 1e3:.0f} ms -> {seq_best / batch_best:.2f}x faster "
+        f"(best of {ROUNDS})"
+    )
+
+    # 3. The aggregate ledger is exactly the sum of its parts.
+    assert batch.total_bytes == sum(r.outcome.total_bytes for r in sequential)
+    assert batch.total_frames == len(requests) * N_FRAMES
+    assert batch.total_conversions == sum(
+        r.outcome.total_conversions for r in sequential
+    )
+    emit("check 3: batch aggregate equals the sum of per-request ledgers")

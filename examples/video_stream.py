@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Streaming HiRISE: the `repro.stream` subsystem on a synthetic clip.
+"""Streaming HiRISE through the service Engine, one spec per policy.
 
 The paper evaluates single frames; real deployments stream video.  This
-script runs the same pedestrian clip under four policies and prints the
-cumulative stream ledger for each:
+script declares the same pedestrian clip under four policies as *specs* —
+plain data, no hand-wired pipelines — and serves them all through one
+:class:`repro.service.Engine` call:
 
 * **conventional**   — ship every full frame (Fig. 2a, streamed);
 * **hirise/frame**   — the two-stage HiRISE flow on every frame;
@@ -19,44 +20,52 @@ Run:  python examples/video_stream.py
 from __future__ import annotations
 
 from repro.bench import Table
-from repro.core import ConventionalPipeline, HiRISEConfig, HiRISEPipeline
-from repro.stream import (
-    StreamRunner,
-    TemporalROIReuse,
-    ground_truth_detector,
-    pedestrian_clip,
-)
+from repro.core import HiRISEConfig
+from repro.service import ComponentRef, Engine, ScenarioSpec, SystemSpec
 
 N_FRAMES = 32
 RESOLUTION = (256, 192)
 
 
-def hirise_runner(clip, **runner_kwargs):
-    """A fresh HiRISE pipeline + runner (stand-in stage-1 model)."""
-    detect, on_frame = ground_truth_detector(clip, label="person")
-    pipeline = HiRISEPipeline(
-        detector=detect,
-        config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+def scenario(name: str, **kwargs) -> ScenarioSpec:
+    """One request against the shared pedestrian clip."""
+    return ScenarioSpec(
+        name=name,
+        source=ComponentRef("pedestrian", {"resolution": list(RESOLUTION)}),
+        n_frames=N_FRAMES,
+        seed=4,
+        **kwargs,
     )
-    return StreamRunner(pipeline, **runner_kwargs), on_frame
 
 
 def main() -> None:
-    clip = pedestrian_clip(n_frames=N_FRAMES, resolution=RESOLUTION, seed=4)
+    hirise = Engine(
+        SystemSpec(
+            system="hirise",
+            config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+            detector=ComponentRef("ground-truth", {"label": "person"}),
+        )
+    )
+    conventional = Engine(
+        SystemSpec(
+            system="conventional",
+            detector=ComponentRef("ground-truth", {"label": "person"}),
+        )
+    )
 
-    policies = {}
-    detect, on_frame = ground_truth_detector(clip, label="person")
-    runner = StreamRunner(ConventionalPipeline(detector=detect))
-    policies["conventional"] = runner.run(clip.frames, on_frame=on_frame)
-
-    runner, on_frame = hirise_runner(clip)
-    policies["hirise/frame"] = runner.run(clip.frames, on_frame=on_frame)
-
-    runner, on_frame = hirise_runner(clip, batch_size=12)
-    policies["hirise/batch"] = runner.run(clip.frames, on_frame=on_frame)
-
-    runner, on_frame = hirise_runner(clip, reuse=TemporalROIReuse(max_reuse=3))
-    policies["hirise/reuse"] = runner.run(clip.frames, on_frame=on_frame)
+    policies = {"conventional": conventional.run(scenario("conventional")).outcome}
+    batch = hirise.run_batch(
+        [
+            scenario("hirise/frame"),
+            scenario("hirise/batch", batch_size=12),
+            scenario(
+                "hirise/reuse",
+                policy=ComponentRef("temporal-reuse", {"max_reuse": 3}),
+            ),
+        ],
+        workers=2,
+    )
+    policies.update({r.label: r.outcome for r in batch})
 
     table = Table(
         f"stream policies: {N_FRAMES} frames at {RESOLUTION[0]}x{RESOLUTION[1]}",
@@ -80,7 +89,9 @@ def main() -> None:
     print()
     print("reused frames pay zero stage-1 bytes/conversions — the pooled\n"
           "readout and the detector are skipped outright; the reuse policy\n"
-          "revalidates with a full stage-1 run whenever stability decays.")
+          "revalidates with a full stage-1 run whenever stability decays.\n"
+          "The same scenarios, as data: examples/specs/pedestrian_reuse.json\n"
+          "(python -m repro run examples/specs/pedestrian_reuse.json).")
 
 
 if __name__ == "__main__":

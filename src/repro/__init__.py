@@ -18,12 +18,15 @@ and Selective ROI.  The package provides:
   model, the energy model, and end-to-end pipelines.
 * :mod:`repro.stream` — the video layer: stream runner, temporal ROI
   reuse, batched stage-1 readout, and cumulative stream accounting.
+* :mod:`repro.service` — the unified service API: component registries,
+  serializable :class:`SystemSpec`/:class:`ScenarioSpec` specs, and the
+  :class:`Engine` façade with concurrent batch execution.
 
 The most commonly used names are re-exported lazily at the top level so that
 ``import repro.analog`` does not pay for the ML stack and vice versa.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Top-level name -> providing submodule, resolved lazily (PEP 562).
 _EXPORTS = {
@@ -39,6 +42,14 @@ _EXPORTS = {
     "StreamRunner": "repro.stream",
     "StreamOutcome": "repro.stream",
     "TemporalROIReuse": "repro.stream",
+    "Engine": "repro.service",
+    "BatchResult": "repro.service",
+    "RunResult": "repro.service",
+    "SystemSpec": "repro.service",
+    "ScenarioSpec": "repro.service",
+    "ServiceSpec": "repro.service",
+    "ComponentRef": "repro.service",
+    "list_components": "repro.service",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -2,6 +2,8 @@
 
 Commands:
 
+* ``run`` — serve a JSON service spec through the :class:`~repro.service.Engine`;
+* ``components`` — list every registered detector/classifier/source/policy;
 * ``experiments`` — list every reproducible paper artifact and its bench;
 * ``costs`` — evaluate the Table 1 cost model for one configuration;
 * ``compare`` — run both pipelines on a synthetic scene and print the
@@ -13,6 +15,46 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .service import Engine, SpecError
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        engine = Engine.from_spec(args.spec)
+    except (SpecError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not engine.scenarios:
+        print(
+            f"error: {args.spec}: spec has no scenarios to run "
+            "(add a top-level \"scenarios\" list)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        batch = engine.run_batch(workers=args.workers)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for result in batch:
+        print(result.report())
+        print()
+    print(batch.report())
+    return 0
+
+
+def _cmd_components(_args: argparse.Namespace) -> int:
+    from .service import list_components
+
+    for kind, names in list_components().items():
+        print(f"{kind}:")
+        for name in names:
+            print(f"  {name}")
+    return 0
 
 
 def _cmd_experiments(_args: argparse.Namespace) -> int:
@@ -56,12 +98,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     from .datasets import crowdhuman_like
 
+    config = HiRISEConfig(
+        pool_k=args.k,
+        grayscale_stage1=args.gray,
+        score_threshold=args.score_threshold,
+    )
     scene = crowdhuman_like(1, resolution=(args.width, args.height), seed=args.seed)[0]
     rois = [
         ROI(int(b.x), int(b.y), max(int(b.w), 2), max(int(b.h), 2), 0.9, "head")
         for b in scene.boxes_for("head")
     ]
-    hirise = HiRISEPipeline(config=HiRISEConfig(pool_k=args.k)).run(scene.image, rois=rois)
+    hirise = HiRISEPipeline(config=config).run(scene.image, rois=rois)
     baseline = ConventionalPipeline().run(scene.image, rois=rois)
     print(comparison_report(hirise, baseline))
     return 0
@@ -78,10 +125,26 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="HiRISE (DAC 2024) reproduction toolkit"
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="serve a JSON service spec via the Engine")
+    run.add_argument("spec", help="path to a service spec (see examples/specs/)")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the batch (default: the spec's workers)",
+    )
+
+    sub.add_parser(
+        "components", help="list registered detectors/classifiers/sources/policies"
+    )
 
     sub.add_parser("experiments", help="list reproducible paper artifacts")
 
@@ -98,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--height", type=int, default=960)
     compare.add_argument("--k", type=int, default=4)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--gray", action="store_true", help="grayscale stage 1")
+    compare.add_argument(
+        "--score-threshold", type=float, default=0.0,
+        help="minimum stage-1 confidence for an ROI to be read out",
+    )
 
     circuit = sub.add_parser("circuit", help="DC-solve the averaging circuit")
     circuit.add_argument("--inputs", type=int, default=12)
@@ -108,6 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
+        "run": _cmd_run,
+        "components": _cmd_components,
         "experiments": _cmd_experiments,
         "costs": _cmd_costs,
         "compare": _cmd_compare,

@@ -87,6 +87,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_stream_throughput.py",
             ("repro.stream", "repro.core", "repro.sensor"),
         ),
+        Experiment(
+            "service",
+            "Ext. B",
+            "Service engine: concurrent spec-driven batch vs sequential runs — bit-identical, faster",
+            "benchmarks/bench_service_batch.py",
+            ("repro.service", "repro.stream", "repro.core"),
+        ),
     )
 }
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,27 @@ class HiRISEConfig:
         if self.max_rois is not None and self.max_rois < 1:
             raise ValueError("max_rois must be >= 1 when set")
 
+    def to_dict(self) -> dict:
+        """Plain-data form of the config (JSON-safe; see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HiRISEConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: on unknown fields (named, with the valid set) or on
+                values the constructor rejects.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"HiRISEConfig: unknown field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return cls(**data)
+
     @classmethod
     def for_stage1_resolution(
         cls,
@@ -61,16 +82,38 @@ class HiRISEConfig:
         Args:
             array_resolution: ``(width, height)`` of the pixel array.
             stage1_resolution: desired pooled ``(width, height)``.
-            **kwargs: forwarded to the constructor.
+            **kwargs: forwarded to the constructor (any field but ``pool_k``,
+                which this method derives).
 
         Raises:
-            ValueError: when the array is not an integer multiple of the
-                stage-1 resolution.
+            TypeError: on ``pool_k`` or unknown config fields in ``kwargs``,
+                naming the offending keys.
+            ValueError: when the array is not the same integer multiple of
+                the stage-1 resolution on both axes, naming the values.
         """
+        if "pool_k" in kwargs:
+            raise TypeError(
+                "for_stage1_resolution() derives pool_k from the resolutions; "
+                f"got explicit pool_k={kwargs['pool_k']!r}"
+            )
+        valid = {f.name for f in fields(cls)} - {"pool_k"}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise TypeError(
+                f"for_stage1_resolution() got unknown config field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
         aw, ah = array_resolution
         sw, sh = stage1_resolution
-        if aw % sw or ah % sh or aw // sw != ah // sh:
+        if aw % sw or ah % sh:
             raise ValueError(
-                f"array {aw}x{ah} is not an integer multiple of stage-1 {sw}x{sh}"
+                f"array {aw}x{ah} is not an integer multiple of stage-1 "
+                f"{sw}x{sh} (width remainder {aw % sw}, height remainder {ah % sh})"
+            )
+        if aw // sw != ah // sh:
+            raise ValueError(
+                f"array {aw}x{ah} needs one pooling factor for both axes to "
+                f"reach stage-1 {sw}x{sh}: width gives k={aw // sw} but height "
+                f"gives k={ah // sh}"
             )
         return cls(pool_k=aw // sw, **kwargs)

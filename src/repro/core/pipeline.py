@@ -229,7 +229,14 @@ class HiRISEPipeline:
         if rois is None:
             detections, candidates = self.detect(stage1.images)
         else:
-            candidates = list(rois)
+            # Explicit ROIs pass through the same confidence gate as
+            # detector outputs, so ``score_threshold`` means one thing
+            # regardless of where the boxes came from.
+            candidates = [
+                r for r in rois
+                if getattr(r, "score", None) is None
+                or r.score >= self.config.score_threshold
+            ]
 
         conditioned = self.condition_rois(candidates, array.width, array.height)
         ledger.add_roi_descriptors(len(conditioned))

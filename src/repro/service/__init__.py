@@ -1,0 +1,78 @@
+"""Unified service API: registries, serializable specs, and the Engine.
+
+This package is the system's single front door.  Instead of hand-wiring a
+pipeline, a source, and a policy per experiment, a *spec* — plain data,
+JSON-serializable — names every component and the :class:`Engine` builds
+and runs it:
+
+>>> from repro.service import Engine, ScenarioSpec, ComponentRef
+>>> engine = Engine.from_spec({"system": "hirise"})
+>>> result = engine.run(ScenarioSpec(source=ComponentRef("pedestrian"),
+...                                  n_frames=8, seed=4))
+>>> result.outcome.n_frames
+8
+
+Three layers:
+
+* :mod:`~repro.service.registry` — component registries (detectors,
+  classifiers, stream sources, reuse policies) keyed by string name, with
+  ``@register_*`` decorators and :func:`list_components` introspection;
+* :mod:`~repro.service.spec` — :class:`SystemSpec` / :class:`ScenarioSpec`
+  / :class:`ServiceSpec`, frozen dataclasses with exact ``to_dict`` /
+  ``from_dict`` round-trips and field-naming validation errors;
+* :mod:`~repro.service.engine` — the stateless :class:`Engine` façade:
+  ``from_spec(path_or_dict)``, ``run(request)``, and thread-pool-backed
+  ``run_batch(requests, workers=N)`` whose results are bit-identical to
+  sequential execution.
+
+``python -m repro run <spec.json>`` and ``python -m repro components``
+expose the same surface on the command line; ``examples/specs/`` holds
+ready-to-run spec files.
+"""
+
+from . import components as _components  # noqa: F401  (populates registries)
+from .engine import BatchResult, Engine, RunResult
+from .registry import (
+    CLASSIFIERS,
+    DETECTORS,
+    POLICIES,
+    SOURCES,
+    Registry,
+    UnknownComponentError,
+    list_components,
+    register_classifier,
+    register_detector,
+    register_policy,
+    register_source,
+)
+from .spec import (
+    ComponentRef,
+    ScenarioSpec,
+    ServiceSpec,
+    SpecError,
+    SystemSpec,
+    load_spec,
+)
+
+__all__ = [
+    "BatchResult",
+    "CLASSIFIERS",
+    "ComponentRef",
+    "DETECTORS",
+    "Engine",
+    "POLICIES",
+    "Registry",
+    "RunResult",
+    "SOURCES",
+    "ScenarioSpec",
+    "ServiceSpec",
+    "SpecError",
+    "SystemSpec",
+    "UnknownComponentError",
+    "list_components",
+    "load_spec",
+    "register_classifier",
+    "register_detector",
+    "register_policy",
+    "register_source",
+]

@@ -1,0 +1,194 @@
+"""Built-in components: the names every spec can use out of the box.
+
+Importing this module (which :mod:`repro.service` does) populates the four
+registries with the repo's own detectors, classifiers, stream sources, and
+reuse policies.  Each factory validates its params and raises naming the
+bad value, so spec errors surface at build time, not mid-stream.
+
+User extensions follow the same pattern::
+
+    from repro.service import register_detector
+
+    @register_detector("my-detector")
+    def _build(clip, **params):
+        return my_detector_fn, None
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.profiles import (
+    CROWDHUMAN_LIKE,
+    DHDCAMPUS_LIKE,
+    VISDRONE_LIKE,
+    DatasetProfile,
+)
+from ..datasets.scene import SceneGenerator
+from ..ml import GridDetector, GridDetectorConfig, to_gray
+from ..stream.reuse import TemporalROIReuse
+from ..stream.source import (
+    SyntheticClip,
+    drone_traffic_clip,
+    ground_truth_detector,
+    pedestrian_clip,
+)
+from .registry import (
+    register_classifier,
+    register_detector,
+    register_policy,
+    register_source,
+)
+
+# -- stream sources ----------------------------------------------------------------
+
+
+def _resolution(params: dict, default: tuple[int, int]) -> tuple[int, int]:
+    value = params.pop("resolution", default)
+    if not (len(value) == 2 and all(int(v) > 0 for v in value)):
+        raise ValueError(f"source.resolution must be a (width, height) pair, got {value!r}")
+    return (int(value[0]), int(value[1]))
+
+
+@register_source("pedestrian")
+def _pedestrian(n_frames: int, seed: int, **params) -> SyntheticClip:
+    """CrowdHuman-flavored walkers; params: resolution, n_walkers, speed, jitter."""
+    return pedestrian_clip(
+        n_frames=n_frames, seed=seed,
+        resolution=_resolution(params, (256, 192)), **params,
+    )
+
+
+@register_source("drone")
+def _drone(n_frames: int, seed: int, **params) -> SyntheticClip:
+    """VisDrone-flavored top-down traffic; params: resolution, n_vehicles, speed, jitter."""
+    return drone_traffic_clip(
+        n_frames=n_frames, seed=seed,
+        resolution=_resolution(params, (256, 192)), **params,
+    )
+
+
+def _scene_sweep(
+    profile: DatasetProfile, n_frames: int, seed: int, params: dict
+) -> SyntheticClip:
+    """Independent procedural scenes as a stream (a dataset *sweep*).
+
+    Unlike the animated clips, consecutive frames are unrelated scenes —
+    the workload of the paper's single-frame experiments, made streamable
+    (and the adversarial case for temporal reuse: nothing is ever stable).
+    """
+    label = params.pop("label", None)
+    generator = SceneGenerator(
+        profile, resolution=_resolution(params, (640, 480)), seed=seed
+    )
+    if params:
+        raise ValueError(
+            f"unknown scene-sweep param(s) {sorted(params)}; "
+            "valid: resolution, label"
+        )
+    frames, ground_truth = [], []
+    for i in range(n_frames):
+        scene = generator.scene(i)
+        frames.append(scene.image)
+        boxes = scene.boxes_for(label) if label else scene.boxes
+        ground_truth.append([(b.x, b.y, b.w, b.h) for b in boxes])
+    return SyntheticClip(frames, ground_truth, generator.resolution)
+
+
+@register_source("crowdhuman-scenes")
+def _crowdhuman_scenes(n_frames: int, seed: int, **params) -> SyntheticClip:
+    """CrowdHuman-like scene sweep; params: resolution, label (e.g. "head")."""
+    return _scene_sweep(CROWDHUMAN_LIKE, n_frames, seed, params)
+
+
+@register_source("dhdcampus-scenes")
+def _dhdcampus_scenes(n_frames: int, seed: int, **params) -> SyntheticClip:
+    """DHD-Campus-like scene sweep; params: resolution, label."""
+    return _scene_sweep(DHDCAMPUS_LIKE, n_frames, seed, params)
+
+
+@register_source("visdrone-scenes")
+def _visdrone_scenes(n_frames: int, seed: int, **params) -> SyntheticClip:
+    """VisDrone-like scene sweep; params: resolution, label."""
+    return _scene_sweep(VISDRONE_LIKE, n_frames, seed, params)
+
+
+# -- detectors ---------------------------------------------------------------------
+
+
+@register_detector("ground-truth")
+def _ground_truth(clip: SyntheticClip, **params):
+    """Oracle stage-1: reads the clip's ground truth (params: score, label).
+
+    Isolates *system* costs (transfer/energy/reuse behavior) from detector
+    quality, exactly like the paper's analytical experiments.
+    """
+    return ground_truth_detector(clip, **params)
+
+
+@register_detector("grid")
+def _grid(clip: SyntheticClip, **params):
+    """Untrained mini-YOLO grid detector (params: classes, score_threshold, seed).
+
+    A *functional* stand-in for a learned stage 1: exercises the real
+    CNN forward path.  Train-and-freeze flows should build their own
+    :class:`~repro.ml.GridDetector` and register it under a new name.
+    """
+    seed = int(params.pop("seed", 0))
+    config = GridDetectorConfig(
+        input_hw=(clip.resolution[1], clip.resolution[0]),
+        classes=tuple(params.pop("classes", ("object",))),
+        **params,
+    )
+    return GridDetector(config, seed=seed).detect, None
+
+
+@register_detector("none")
+def _no_detector(clip: SyntheticClip, **params):
+    """No stage-1 model (analytical runs that pass ROIs explicitly)."""
+    if params:
+        raise ValueError(f"detector 'none' takes no params, got {sorted(params)}")
+    return None, None
+
+
+# -- classifiers -------------------------------------------------------------------
+
+
+@register_classifier("none")
+def _no_classifier(**params):
+    if params:
+        raise ValueError(f"classifier 'none' takes no params, got {sorted(params)}")
+    return None
+
+
+@register_classifier("mean-luma")
+def _mean_luma(**params):
+    """Trivial deterministic stage-2 head: mean crop luminance in [0, 1].
+
+    Stands in for a task model when the experiment only measures system
+    costs; its output lands in ``PipelineOutcome.predictions`` like any
+    classifier's would.
+    """
+    if params:
+        raise ValueError(f"classifier 'mean-luma' takes no params, got {sorted(params)}")
+
+    def classify(crop: np.ndarray) -> float:
+        return float(np.mean(to_gray(crop)))
+
+    return classify
+
+
+# -- reuse policies ----------------------------------------------------------------
+
+
+@register_policy("none")
+def _no_policy(**params):
+    if params:
+        raise ValueError(f"policy 'none' takes no params, got {sorted(params)}")
+    return None
+
+
+@register_policy("temporal-reuse")
+def _temporal_reuse(**params) -> TemporalROIReuse:
+    """IoU-gated stage-1 skipping; params mirror TemporalROIReuse's knobs."""
+    return TemporalROIReuse(**params)

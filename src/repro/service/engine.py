@@ -1,0 +1,352 @@
+"""The Engine: one stateless, config-driven front door for every scenario.
+
+:class:`Engine` replaces hand-wiring pipelines, runners, sources, and
+policies in Python: it holds one :class:`~repro.service.SystemSpec` and
+serves any number of :class:`~repro.service.ScenarioSpec` requests against
+it — one at a time (:meth:`Engine.run`) or as a concurrent batch
+(:meth:`Engine.run_batch`).
+
+Determinism is the contract that makes batching safe: every request builds
+its *own* source, detector, pipeline, and policy from the registries, all
+seeded by the spec, so ``run_batch(requests, workers=N)`` is bit-identical
+to a sequential loop of ``run`` — asserted in tests and in the ``service``
+benchmark.  The only work shared across a batch is the construction of
+byte-identical inputs: requests whose ``(source, n_frames, seed)`` coincide
+reuse one clip (built once, read-only), which is where the single-core
+batch speedup comes from; the thread pool adds multi-core scaling on top.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Iterable, Sequence
+
+from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
+from ..stream.ledger import StreamOutcome
+from ..stream.runner import StreamRunner
+from . import components as _components  # noqa: F401  (populates registries)
+from .registry import CLASSIFIERS, DETECTORS, POLICIES, SOURCES
+from .spec import (
+    ScenarioSpec,
+    SpecError,
+    SystemSpec,
+    coerce_service_spec,
+    load_spec,
+)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One served request: the scenario that asked and the ledger it got."""
+
+    scenario: ScenarioSpec
+    outcome: StreamOutcome
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label
+
+    def report(self) -> str:
+        return f"--- {self.label} ---\n{self.outcome.report()}"
+
+
+@dataclass
+class BatchResult:
+    """A batch of results plus cross-request aggregates.
+
+    The per-request :class:`~repro.stream.StreamOutcome` ledgers stay
+    intact (order matches the submitted requests); the properties roll
+    them up into whole-batch quantities.
+    """
+
+    results: list[RunResult] = field(default_factory=list)
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def outcomes(self) -> list[StreamOutcome]:
+        return [r.outcome for r in self.results]
+
+    @property
+    def total_frames(self) -> int:
+        return sum(o.n_frames for o in self.outcomes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.total_bytes for o in self.outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(o.total_energy_j for o in self.outcomes)
+
+    @property
+    def total_conversions(self) -> int:
+        return sum(o.total_conversions for o in self.outcomes)
+
+    @property
+    def stage1_frames(self) -> int:
+        return sum(o.stage1_frames for o in self.outcomes)
+
+    @property
+    def reused_frames(self) -> int:
+        return sum(o.reused_frames for o in self.outcomes)
+
+    @property
+    def peak_image_memory_bytes(self) -> int:
+        return max((o.peak_image_memory_bytes for o in self.outcomes), default=0)
+
+    @property
+    def frames_per_second(self) -> float:
+        """Aggregate served throughput (0 when untimed)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total_frames / self.wall_time_s
+
+    def report(self) -> str:
+        """Human-readable whole-batch rollup."""
+        lines = [
+            f"[batch] {len(self.results)} scenario(s), {self.workers} worker(s): "
+            f"{self.total_frames} frames "
+            f"({self.stage1_frames} stage-1, {self.reused_frames} reused)",
+            f"  transfer: {self.total_bytes / 1024:.1f} kB",
+            f"  energy: {self.total_energy_j * 1e3:.4f} mJ",
+            f"  ADC conversions: {self.total_conversions:,}",
+            f"  peak image memory: {self.peak_image_memory_bytes / 1024:.1f} kB",
+        ]
+        if self.wall_time_s > 0:
+            lines.append(
+                f"  throughput: {self.frames_per_second:.1f} frames/s "
+                f"({self.wall_time_s * 1e3:.0f} ms wall)"
+            )
+        return "\n".join(lines)
+
+
+def _source_key(scenario: ScenarioSpec) -> str | None:
+    """Cache key: everything that determines the rendered clip, bit for bit.
+
+    ``None`` means "don't share": params that JSON can't canonicalize
+    (possible via the Python API — numpy scalars, sets, ...) make the
+    request uncacheable rather than making the batch path fail where
+    sequential :meth:`Engine.run` would succeed.
+    """
+    try:
+        return json.dumps(
+            [scenario.source.to_dict(), scenario.n_frames, scenario.seed],
+            sort_keys=True,
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+class Engine:
+    """Stateless façade serving scenario requests against one system spec.
+
+    "Stateless" means no request leaves anything behind: all per-request
+    state (pipelines, trackers, detector frame counters) is constructed
+    fresh inside :meth:`run`, so one engine can serve concurrent requests
+    and repeated requests always return identical results.
+
+    Attributes:
+        spec: the system served.
+        scenarios: default workload (from the spec file's ``scenarios``
+            list); used when :meth:`run_batch` gets no requests.
+        workers: default worker count for :meth:`run_batch`.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec | None = None,
+        scenarios: Iterable[ScenarioSpec] = (),
+        workers: int = 1,
+    ):
+        self.spec = spec if spec is not None else SystemSpec()
+        self.scenarios = tuple(scenarios)
+        self.workers = workers
+        # Fail at construction, not mid-batch: both model slots must exist.
+        self.spec.detector.resolve(DETECTORS, "system.detector")
+        self.spec.classifier.resolve(CLASSIFIERS, "system.classifier")
+
+    @classmethod
+    def from_spec(cls, spec) -> "Engine":
+        """Build an engine from a spec in any serialized form.
+
+        Args:
+            spec: a JSON file path (``str`` or :class:`~pathlib.Path`), a
+                dict (full service layout or a bare system spec), a
+                :class:`SystemSpec`, or a :class:`ServiceSpec`.
+        """
+        if isinstance(spec, (str, Path)):
+            service = load_spec(spec)
+        else:
+            service = coerce_service_spec(spec)
+        return cls(service.system, service.scenarios, service.workers)
+
+    # -- request construction ----------------------------------------------------
+
+    @staticmethod
+    def _as_scenario(request) -> ScenarioSpec:
+        if isinstance(request, ScenarioSpec):
+            return request
+        if isinstance(request, dict):
+            return ScenarioSpec.from_dict(request)
+        raise SpecError(
+            f"request: expected a ScenarioSpec or dict, got {request!r}"
+        )
+
+    def _build_clip(self, scenario: ScenarioSpec):
+        factory = scenario.source.resolve(SOURCES, "scenario.source")
+        try:
+            return factory(
+                scenario.n_frames, scenario.seed, **dict(scenario.source.params)
+            )
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"scenario.source {scenario.source.name!r}: {exc}"
+            ) from exc
+
+    def _build_runner(self, scenario: ScenarioSpec, clip):
+        """Fresh pipeline + runner + callbacks for one request."""
+        spec = self.spec
+        detector_factory = spec.detector.resolve(DETECTORS, "system.detector")
+        try:
+            detector, on_frame = detector_factory(clip, **dict(spec.detector.params))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"system.detector {spec.detector.name!r}: {exc}"
+            ) from exc
+        classifier_factory = spec.classifier.resolve(CLASSIFIERS, "system.classifier")
+        try:
+            classifier = classifier_factory(**dict(spec.classifier.params))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"system.classifier {spec.classifier.name!r}: {exc}"
+            ) from exc
+
+        if spec.system == "conventional":
+            pipeline = ConventionalPipeline(
+                detector=detector,
+                classifier=classifier,
+                adc_bits=spec.config.adc_bits,
+                noise=spec.noise,
+            )
+        else:
+            pipeline = HiRISEPipeline(
+                detector=detector,
+                classifier=classifier,
+                config=spec.config,
+                noise=spec.noise,
+            )
+
+        policy_factory = scenario.policy.resolve(POLICIES, "scenario.policy")
+        try:
+            policy = policy_factory(**dict(scenario.policy.params))
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"scenario.policy {scenario.policy.name!r}: {exc}"
+            ) from exc
+
+        try:
+            runner = StreamRunner(
+                pipeline,
+                reuse=policy,
+                batch_size=scenario.batch_size,
+                keep_outcomes=scenario.keep_outcomes,
+            )
+        except ValueError as exc:
+            raise SpecError(f"scenario {scenario.label!r}: {exc}") from exc
+        return runner, on_frame
+
+    # -- serving -----------------------------------------------------------------
+
+    def run(self, request, clip=None) -> RunResult:
+        """Serve one request.
+
+        Args:
+            request: a :class:`ScenarioSpec` or its dict form.
+            clip: pre-built source clip (internal batch path; must be the
+                clip the request's source spec would build).
+
+        Returns:
+            :class:`RunResult` with the request's stream ledger.
+        """
+        scenario = self._as_scenario(request)
+        if clip is None:
+            clip = self._build_clip(scenario)
+        runner, on_frame = self._build_runner(scenario, clip)
+        outcome = runner.run(
+            clip.frames, frame_seeds=scenario.frame_seeds, on_frame=on_frame
+        )
+        return RunResult(scenario=scenario, outcome=outcome)
+
+    def run_batch(
+        self,
+        requests: Sequence | None = None,
+        workers: int | None = None,
+    ) -> BatchResult:
+        """Serve many requests concurrently; results keep request order.
+
+        Identical ``(source, n_frames, seed)`` triples share one rendered
+        clip (read-only), and requests run on a thread pool.  Both are
+        purely wall-clock optimizations: per-request results are
+        bit-identical to sequential :meth:`run` calls.
+
+        Args:
+            requests: scenario specs (or dicts); defaults to the engine's
+                spec-file scenarios.
+            workers: thread count (defaults to the spec's ``workers``).
+
+        Returns:
+            :class:`BatchResult`; a failed request re-raises its error.
+        """
+        if requests is None:
+            requests = self.scenarios
+        scenarios = [self._as_scenario(r) for r in requests]
+        if workers is None:
+            workers = self.workers
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+
+        clips: dict[str, Future] = {}
+        clips_lock = Lock()
+
+        def clip_for(scenario: ScenarioSpec):
+            key = _source_key(scenario)
+            if key is None:
+                return self._build_clip(scenario)
+            with clips_lock:
+                fut = clips.get(key)
+                build = fut is None
+                if build:
+                    fut = clips[key] = Future()
+            if build:
+                try:
+                    fut.set_result(self._build_clip(scenario))
+                except BaseException as exc:
+                    fut.set_exception(exc)
+            return fut.result()
+
+        def serve(scenario: ScenarioSpec) -> RunResult:
+            return self.run(scenario, clip=clip_for(scenario))
+
+        start = time.perf_counter()
+        if workers == 1 or len(scenarios) <= 1:
+            results = [serve(s) for s in scenarios]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(serve, scenarios))
+        wall = time.perf_counter() - start
+        return BatchResult(results=results, workers=workers, wall_time_s=wall)

@@ -1,8 +1,13 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import build_parser, main
+
+SPECS_DIR = Path(__file__).resolve().parents[2] / "examples" / "specs"
 
 
 class TestCLI:
@@ -32,6 +37,83 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "reduction" in out
 
+    def test_compare_gray_flag_reduces_stage1_bytes(self, capsys):
+        args = ["compare", "--width", "320", "--height", "240", "--k", "2"]
+        assert main(args) == 0
+        rgb_out = capsys.readouterr().out
+        assert main(args + ["--gray"]) == 0
+        gray_out = capsys.readouterr().out
+        # grayscale stage 1 moves fewer bytes, so the reduction grows
+        def reduction(text):
+            line = next(l for l in text.splitlines() if "data transfer" in l)
+            return float(line.rsplit(None, 1)[-1].rstrip("x"))
+        assert reduction(gray_out) > reduction(rgb_out)
+
+    def test_compare_score_threshold_drops_all_rois(self, capsys):
+        assert main([
+            "compare", "--width", "320", "--height", "240", "--k", "2",
+            "--score-threshold", "0.95",
+        ]) == 0
+        # seed ROIs carry score 0.9 < 0.95, so nothing is read out
+        assert "0 ROIs" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServiceCLI:
+    def test_components_lists_registries(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("detectors:", "classifiers:", "sources:", "policies:"):
+            assert kind in out
+        for name in ("ground-truth", "pedestrian", "temporal-reuse"):
+            assert name in out
+
+    def test_run_example_specs(self, capsys):
+        for spec in ("pedestrian_reuse.json", "drone_batch.json"):
+            assert main(["run", str(SPECS_DIR / spec), "--workers", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "[batch]" in out
+
+    def test_run_missing_file(self, capsys):
+        assert main(["run", "no/such/spec.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_invalid_workers(self, capsys):
+        spec = str(SPECS_DIR / "pedestrian_reuse.json")
+        assert main(["run", spec, "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_run_invalid_spec_names_field(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"scenarios": [{"n_frames": "ten"}]}))
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "scenario.n_frames" in err
+
+    def test_run_spec_without_scenarios(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"system": "hirise"}))
+        assert main(["run", str(empty)]) == 2
+        assert "no scenarios" in capsys.readouterr().err
+
+    def test_all_example_specs_parse(self):
+        from repro.service import Engine
+
+        specs = sorted(SPECS_DIR.glob("*.json"))
+        assert len(specs) >= 3
+        for path in specs:
+            engine = Engine.from_spec(path)
+            assert engine.scenarios
+            for scenario in engine.scenarios:
+                scenario.validate_components()

@@ -43,9 +43,54 @@ class TestHiRISEConfig:
         cfg = HiRISEConfig.for_stage1_resolution((2560, 1920), (320, 240))
         assert cfg.pool_k == 8
 
+    def test_for_stage1_resolution_forwards_known_kwargs(self):
+        cfg = HiRISEConfig.for_stage1_resolution(
+            (2560, 1920), (320, 240), grayscale_stage1=True, max_rois=4
+        )
+        assert cfg.pool_k == 8
+        assert cfg.grayscale_stage1 is True
+        assert cfg.max_rois == 4
+
     def test_for_stage1_resolution_rejects_nonmultiple(self):
         with pytest.raises(ValueError):
             HiRISEConfig.for_stage1_resolution((2560, 1920), (300, 200))
+
+    def test_for_stage1_resolution_names_remainders(self):
+        with pytest.raises(ValueError, match=r"2560x1920.*300x200.*remainder"):
+            HiRISEConfig.for_stage1_resolution((2560, 1920), (300, 200))
+
+    def test_for_stage1_resolution_names_mismatched_factors(self):
+        # both axes divide, but by different factors: w/320=4, h/240=2
+        with pytest.raises(ValueError, match=r"width gives k=4.*height gives k=2"):
+            HiRISEConfig.for_stage1_resolution((1280, 480), (320, 240))
+
+    def test_for_stage1_resolution_rejects_unknown_kwargs_by_name(self):
+        with pytest.raises(TypeError, match=r"\['fov'\].*valid fields"):
+            HiRISEConfig.for_stage1_resolution((2560, 1920), fov=90)
+
+    def test_for_stage1_resolution_rejects_explicit_pool_k(self):
+        with pytest.raises(TypeError, match=r"pool_k=3"):
+            HiRISEConfig.for_stage1_resolution((2560, 1920), pool_k=3)
+
+    def test_config_dict_round_trip(self):
+        cfg = HiRISEConfig(pool_k=2, merge_roi_iou=0.4, max_rois=7)
+        assert HiRISEConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_config_from_dict_names_unknown_fields(self):
+        with pytest.raises(ValueError, match=r"\['pool_q'\].*valid fields"):
+            HiRISEConfig.from_dict({"pool_q": 8})
+
+    def test_score_threshold_gates_explicit_rois(self, scene_image, head_rois):
+        # explicit ROIs pass the same confidence gate as detector outputs
+        gated = HiRISEPipeline(
+            config=HiRISEConfig(pool_k=4, score_threshold=0.95)
+        ).run(scene_image, rois=head_rois)
+        assert gated.rois == []
+        unscored = [ROI(8, 8, 16, 16)]  # score=None is never filtered
+        kept = HiRISEPipeline(
+            config=HiRISEConfig(pool_k=4, score_threshold=0.95)
+        ).run(scene_image, rois=unscored)
+        assert len(kept.rois) == 1
 
 
 class TestHiRISEPipeline:

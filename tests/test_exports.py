@@ -1,0 +1,59 @@
+"""Tests for the top-level lazy export table (PEP 562 surface)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_every_export_resolves(self):
+        for name in repro._EXPORTS:
+            assert getattr(repro, name) is not None, name
+
+    def test_exports_match_their_providing_module(self):
+        for name, module_name in repro._EXPORTS.items():
+            module = importlib.import_module(module_name)
+            assert getattr(repro, name) is getattr(module, name), name
+
+    def test_all_covers_exports_and_version(self):
+        assert set(repro.__all__) == set(repro._EXPORTS) | {"__version__"}
+        assert repro.__all__ == sorted(repro._EXPORTS) + ["__version__"]
+
+    def test_dir_matches_all(self):
+        # dir() sorts whatever __dir__ returns, so compare as sets
+        assert set(dir(repro)) == set(repro.__all__)
+
+    def test_version_is_exported(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_service_names_in_export_table(self):
+        for name in (
+            "Engine",
+            "BatchResult",
+            "RunResult",
+            "SystemSpec",
+            "ScenarioSpec",
+            "ServiceSpec",
+            "ComponentRef",
+            "list_components",
+        ):
+            assert repro._EXPORTS[name] == "repro.service"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'Bogus'"):
+            repro.Bogus
+
+    def test_lazy_spelling_sanity(self):
+        # A typo in _EXPORTS would make getattr fail only at first touch;
+        # spot-check identity for a few heavily used names.
+        from repro.core import HiRISEConfig, HiRISEPipeline
+        from repro.service import Engine
+        from repro.stream import StreamRunner
+
+        assert repro.HiRISEConfig is HiRISEConfig
+        assert repro.HiRISEPipeline is HiRISEPipeline
+        assert repro.Engine is Engine
+        assert repro.StreamRunner is StreamRunner
