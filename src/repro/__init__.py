@@ -43,6 +43,9 @@ _EXPORTS = {
     "StreamOutcome": "repro.stream",
     "TemporalROIReuse": "repro.stream",
     "Engine": "repro.service",
+    "EngineCache": "repro.service",
+    "Executor": "repro.service",
+    "make_executor": "repro.service",
     "BatchResult": "repro.service",
     "RunResult": "repro.service",
     "SystemSpec": "repro.service",

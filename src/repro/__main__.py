@@ -36,7 +36,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        batch = engine.run_batch(workers=args.workers)
+        batch = engine.run_batch(workers=args.workers, executor=args.executor)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -139,7 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("spec", help="path to a service spec (see examples/specs/)")
     run.add_argument(
         "--workers", type=int, default=None,
-        help="thread-pool size for the batch (default: the spec's workers)",
+        help="pool size for the batch (default: the spec's workers)",
+    )
+    run.add_argument(
+        # Mirrors repro.service.EXECUTOR_NAMES (not imported here: parser
+        # construction must stay cheap for non-service commands); the
+        # executor tests assert the two stay in sync.
+        "--executor", choices=["serial", "thread", "process"], default=None,
+        help="batch executor (default: the spec's executor; process = "
+        "spawn-safe multi-core pool for CPU-bound fleets)",
     )
 
     sub.add_parser(

@@ -13,12 +13,18 @@ optional input-referred noise.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 #: Per-conversion energy of the 45nm 8-bit ADC used by the paper (ref [3]).
 ADC_ENERGY_45NM_8BIT = 125e-12
+
+#: Guards every instance's lazily-created fallback noise stream.  A module
+#: lock (instead of per-instance) keeps :class:`ADCModel` picklable;
+#: contention is negligible — concurrent converters thread their own rng.
+_FALLBACK_RNG_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,22 @@ class ADCModel:
             raise ValueError("v_ref must be positive")
         if self.energy_per_conversion < 0:
             raise ValueError("energy_per_conversion must be non-negative")
+        # Lazily-created fallback noise stream (not a dataclass field:
+        # equality/hashing stay spec-based).  One generator per instance,
+        # *advanced* across calls — re-seeding per call would hand every
+        # conversion the identical noise realization.
+        object.__setattr__(self, "_fallback_rng", None)
+
+    def _fallback_noise(self, shape: tuple[int, ...]) -> np.ndarray:
+        # Create-and-draw under one lock: concurrent rng-less converts must
+        # never share a noise realization (the bug this path fixes) nor
+        # interleave draws on one generator (not thread-safe).
+        with _FALLBACK_RNG_LOCK:
+            if self._fallback_rng is None:
+                object.__setattr__(
+                    self, "_fallback_rng", np.random.default_rng(self.seed)
+                )
+            return self._fallback_rng.standard_normal(shape)
 
     @property
     def levels(self) -> int:
@@ -64,16 +86,23 @@ class ADCModel:
 
         Args:
             voltages: analog samples (any shape), clipped to ``[0, v_ref]``.
-            rng: generator for input-referred noise; defaults to a fresh
-                seeded generator (deterministic given ``seed``).
+            rng: generator for input-referred noise; callers with their
+                own noise bookkeeping (the readout paths thread a
+                per-frame generator here) pass it explicitly.  When
+                omitted, this instance's own seeded stream is used and
+                *advanced*, so consecutive conversions draw distinct
+                noise — deterministic given ``seed``, never repeating.
 
         Returns:
             ``uint16`` code array of the same shape.
         """
         v = np.asarray(voltages, dtype=np.float64)
         if self.noise_lsb > 0.0:
-            rng = rng or np.random.default_rng(self.seed)
-            v = v + self.noise_lsb * self.lsb * rng.standard_normal(v.shape)
+            if rng is None:
+                noise = self._fallback_noise(v.shape)
+            else:
+                noise = rng.standard_normal(v.shape)
+            v = v + self.noise_lsb * self.lsb * noise
         v = np.clip(v, 0.0, self.v_ref)
         codes = np.rint(v / self.lsb).astype(np.uint16)
         return codes

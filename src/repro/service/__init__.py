@@ -21,17 +21,38 @@ Three layers:
   / :class:`ServiceSpec`, frozen dataclasses with exact ``to_dict`` /
   ``from_dict`` round-trips and field-naming validation errors;
 * :mod:`~repro.service.engine` — the stateless :class:`Engine` façade:
-  ``from_spec(path_or_dict)``, ``run(request)``, and thread-pool-backed
-  ``run_batch(requests, workers=N)`` whose results are bit-identical to
-  sequential execution.
+  ``from_spec(path_or_dict)``, ``run(request)``, and
+  ``run_batch(requests, workers=N, executor=...)`` whose results are
+  bit-identical to sequential execution under every executor;
+* :mod:`~repro.service.executor` — pluggable batch executors
+  (:class:`SerialExecutor`, :class:`ThreadExecutor`, the spawn-safe
+  :class:`ProcessExecutor`), selected by name;
+* :mod:`~repro.service.cache` — the content-addressed
+  :class:`EngineCache`: rendered clips and full :class:`RunResult`
+  memoization keyed by canonical spec hashes, with hit/miss/eviction
+  stats surfaced on :class:`BatchResult`.
 
-``python -m repro run <spec.json>`` and ``python -m repro components``
-expose the same surface on the command line; ``examples/specs/`` holds
-ready-to-run spec files.
+``python -m repro run <spec.json> --executor process`` and ``python -m
+repro components`` expose the same surface on the command line;
+``examples/specs/`` holds ready-to-run spec files.
 """
 
 from . import components as _components  # noqa: F401  (populates registries)
+from .cache import (
+    CacheStats,
+    EngineCache,
+    TierStats,
+    spec_fingerprint,
+)
 from .engine import BatchResult, Engine, RunResult
+from .executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .registry import (
     CLASSIFIERS,
     DETECTORS,
@@ -57,22 +78,32 @@ from .spec import (
 __all__ = [
     "BatchResult",
     "CLASSIFIERS",
+    "CacheStats",
     "ComponentRef",
     "DETECTORS",
+    "EXECUTOR_NAMES",
     "Engine",
+    "EngineCache",
+    "Executor",
     "POLICIES",
+    "ProcessExecutor",
     "Registry",
     "RunResult",
     "SOURCES",
     "ScenarioSpec",
+    "SerialExecutor",
     "ServiceSpec",
     "SpecError",
     "SystemSpec",
+    "ThreadExecutor",
+    "TierStats",
     "UnknownComponentError",
     "list_components",
     "load_spec",
+    "make_executor",
     "register_classifier",
     "register_detector",
     "register_policy",
     "register_source",
+    "spec_fingerprint",
 ]

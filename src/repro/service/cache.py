@@ -1,0 +1,303 @@
+"""Content-addressed caching for the service layer: clips and results.
+
+Serving many near-identical requests re-renders the same clips and re-runs
+the same scenarios.  Both are pure functions of their specs, and specs
+canonicalize exactly (``to_dict`` -> JSON, sort_keys), so a spec's hash is
+a *content address*: equal specs — however they were constructed, round-
+tripped, or loaded from disk — hash to the same key, and a key can never
+collide across genuinely different workloads.
+
+Two tiers, both capacity-bounded LRU with hit/miss/eviction accounting:
+
+* **clip tier** — rendered :class:`~repro.stream.SyntheticClip` objects
+  keyed by ``(source, n_frames, seed)``: everything that determines the
+  pixels, bit for bit.  This generalizes the engine's previous ad-hoc
+  per-batch clip sharing to *cross*-batch reuse.
+* **result tier** — full :class:`~repro.service.RunResult` memoization
+  keyed by ``(system, scenario)``: a repeated request is served without
+  re-running anything, bit-identical to a fresh run.
+
+Lookups are **single-flight**: concurrent requests for one key build the
+value once and share it, which is what makes the cache safe under the
+thread executor.  Cached values are shared objects — treat them as
+read-only, exactly like the engine's results contract already requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from threading import Lock
+from typing import Callable
+
+
+def canonical_json(payload) -> str:
+    """Serialize plain data to its one canonical JSON form.
+
+    Raises:
+        TypeError/ValueError: the payload contains values JSON cannot
+            canonicalize (numpy scalars, sets, ...); callers treat that as
+            "uncacheable", never as a hard failure.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_fingerprint(payload) -> str | None:
+    """Content address of a spec-shaped payload (``None`` = uncacheable).
+
+    The fingerprint is the SHA-256 of the canonical JSON, so it is stable
+    across processes, ``to_dict``/``from_dict`` round-trips, and dict key
+    order — the property the result tier's correctness rests on.
+    """
+    try:
+        text = canonical_json(payload)
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TierStats:
+    """One cache tier's counters (also used as immutable-ish snapshots).
+
+    Attributes:
+        hits: lookups served from the cache (including waits on an
+            in-flight build of the same key).
+        misses: lookups that had to build the value (uncacheable keys
+            count here too — they always build).
+        evictions: entries dropped to stay within capacity.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "TierStats":
+        return TierStats(self.hits, self.misses, self.evictions)
+
+    def merge(self, other: "TierStats") -> None:
+        """Fold another tier's counters in (e.g. a worker process's)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def __sub__(self, other: "TierStats") -> "TierStats":
+        return TierStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.evictions - other.evictions,
+        )
+
+    def describe(self) -> str:
+        return f"{self.hits} hit(s) / {self.misses} miss(es), {self.evictions} evicted"
+
+
+class SpecCache:
+    """A thread-safe, single-flight LRU keyed by spec fingerprints.
+
+    Attributes:
+        kind: what the entries are ("clip", "result"), for reports.
+        capacity: maximum retained entries; 0 disables the tier (every
+            lookup builds, nothing is retained).
+        stats: cumulative :class:`TierStats` for this tier.
+    """
+
+    def __init__(self, kind: str, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"cache.{kind}_capacity: must be >= 0, got {capacity}")
+        self.kind = kind
+        self.capacity = capacity
+        self.stats = TierStats()
+        self._entries: "OrderedDict[str, Future]" = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_build(self, key: str | None, build: Callable[[], object]):
+        """Return the value for ``key``, building it at most once.
+
+        Concurrent callers for one key share a single in-flight build
+        (the losers block on the winner's future).  A failed build is
+        dropped from the cache so later calls retry, and its exception
+        propagates to every waiter.
+        """
+        if key is None or self.capacity == 0:
+            with self._lock:
+                self.stats.misses += 1
+            return build()
+        is_owner = False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+            else:
+                self.stats.misses += 1
+                is_owner = True
+                entry = Future()
+                self._entries[key] = entry
+                self._evict_over_capacity()
+        if not is_owner:
+            return entry.result()
+        try:
+            entry.set_result(build())
+        except BaseException as exc:
+            entry.set_exception(exc)
+            with self._lock:
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+            raise
+        return entry.result()
+
+    def peek(self, key: str | None):
+        """Non-building lookup: ``(hit, value)``; counts a hit or a miss.
+
+        Only *completed* entries count as hits — an in-flight build from
+        another thread is treated as a miss so the caller never blocks.
+        """
+        if key is None or self.capacity == 0:
+            with self._lock:
+                self.stats.misses += 1
+            return False, None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.done() and entry.exception() is None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return True, entry.result()
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: str | None, value) -> None:
+        """Insert a value built elsewhere (e.g. in a worker process)."""
+        if key is None or self.capacity == 0:
+            return
+        entry = Future()
+        entry.set_result(value)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._evict_over_capacity()
+
+    def record_shared_hit(self) -> None:
+        """Count a lookup served by sharing another request's in-batch build
+        (keeps executor paths' accounting consistent with single-flight)."""
+        with self._lock:
+            self.stats.hits += 1
+
+    def merge_stats(self, other: TierStats) -> None:
+        """Fold external counters in (worker processes), under the lock."""
+        with self._lock:
+            self.stats.merge(other)
+
+    def _evict_over_capacity(self) -> None:
+        # Caller holds the lock.
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are history)."""
+        with self._lock:
+            self._entries.clear()
+
+
+@dataclass
+class CacheStats:
+    """Per-tier counters, as surfaced on :class:`~repro.service.BatchResult`.
+
+    ``BatchResult.cache`` holds the *delta* over one batch, so its numbers
+    read as "this batch had N clip hits, M result hits, ...".
+    """
+
+    clips: TierStats
+    results: TierStats
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            clips=self.clips - other.clips, results=self.results - other.results
+        )
+
+    def describe(self) -> str:
+        return (
+            f"clips {self.clips.describe()}; results {self.results.describe()}"
+        )
+
+
+class EngineCache:
+    """The engine's two cache tiers behind one handle.
+
+    Attributes:
+        clips: rendered-clip tier (``(source, n_frames, seed)``-keyed).
+        results: :class:`RunResult` memoization tier
+            (``(system, scenario)``-keyed).
+
+    Capacities bound memory, not correctness: clips are the big entries
+    (tens of MB each at video resolutions), results without
+    ``keep_outcomes`` are ledger-sized.  Capacity 0 disables a tier.
+    """
+
+    def __init__(self, clip_capacity: int = 8, result_capacity: int = 256):
+        self.clips = SpecCache("clip", clip_capacity)
+        self.results = SpecCache("result", result_capacity)
+
+    @classmethod
+    def disabled(cls) -> "EngineCache":
+        """A cache that never retains anything (for measurement runs)."""
+        return cls(clip_capacity=0, result_capacity=0)
+
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of both tiers' cumulative counters."""
+        return CacheStats(
+            clips=self.clips.stats.snapshot(), results=self.results.stats.snapshot()
+        )
+
+    def clear(self) -> None:
+        self.clips.clear()
+        self.results.clear()
+
+
+def clip_key(scenario) -> str | None:
+    """Content address of a scenario's rendered clip.
+
+    Everything that determines the pixels — the source component (name +
+    params), the frame count, and the master seed — and nothing more, so
+    scenarios differing only in policy/batching/naming share one clip.
+    """
+    return spec_fingerprint(
+        [scenario.source.to_dict(), scenario.n_frames, scenario.seed]
+    )
+
+
+def result_key(system, scenario, system_fingerprint: str | None = ...) -> str | None:
+    """Content address of a full run: the system and the whole scenario.
+
+    Args:
+        system: the :class:`SystemSpec` served.
+        scenario: the request.
+        system_fingerprint: precomputed ``spec_fingerprint(system.to_dict())``
+            — the system never changes over an engine's lifetime, so
+            callers on the per-request path pass it to avoid re-hashing
+            the whole system spec every lookup.
+    """
+    if system_fingerprint is ...:
+        system_fingerprint = spec_fingerprint(system.to_dict())
+    if system_fingerprint is None:
+        return None
+    return spec_fingerprint(
+        {"system": system_fingerprint, "scenario": scenario.to_dict()}
+    )

@@ -1,36 +1,45 @@
-"""The Engine: one stateless, config-driven front door for every scenario.
+"""The Engine: one config-driven front door for every scenario.
 
 :class:`Engine` replaces hand-wiring pipelines, runners, sources, and
 policies in Python: it holds one :class:`~repro.service.SystemSpec` and
 serves any number of :class:`~repro.service.ScenarioSpec` requests against
-it — one at a time (:meth:`Engine.run`) or as a concurrent batch
-(:meth:`Engine.run_batch`).
+it — one at a time (:meth:`Engine.run`) or as a batch
+(:meth:`Engine.run_batch`) driven by a pluggable
+:class:`~repro.service.Executor` (serial, thread pool, or spawn-safe
+process pool).
 
-Determinism is the contract that makes batching safe: every request builds
-its *own* source, detector, pipeline, and policy from the registries, all
-seeded by the spec, so ``run_batch(requests, workers=N)`` is bit-identical
-to a sequential loop of ``run`` — asserted in tests and in the ``service``
-benchmark.  The only work shared across a batch is the construction of
-byte-identical inputs: requests whose ``(source, n_frames, seed)`` coincide
-reuse one clip (built once, read-only), which is where the single-core
-batch speedup comes from; the thread pool adds multi-core scaling on top.
+Determinism is the contract that makes all of it safe: every request
+builds its *own* source, detector, pipeline, and policy from the
+registries, all seeded by the spec, so ``run_batch`` under any executor is
+bit-identical to a sequential loop of ``run`` — asserted in tests and in
+the ``service`` benchmark.  On top of that contract sits the
+content-addressed :class:`~repro.service.EngineCache`: requests whose
+``(source, n_frames, seed)`` coincide share one rendered clip, and a
+request whose entire ``(system, scenario)`` spec was served before is
+answered from the result tier without re-running anything.  Cached results
+are shared objects — treat them (like all results) as read-only.
 """
 
 from __future__ import annotations
 
-import json
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from threading import Lock
 from typing import Iterable, Sequence
 
 from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
 from ..stream.ledger import StreamOutcome
 from ..stream.runner import StreamRunner
 from . import components as _components  # noqa: F401  (populates registries)
-from .registry import CLASSIFIERS, DETECTORS, POLICIES, SOURCES
+from .cache import (
+    CacheStats,
+    EngineCache,
+    clip_key,
+    result_key,
+    spec_fingerprint,
+)
+from .executor import EXECUTOR_NAMES, Executor, make_executor
+from .registry import CLASSIFIERS, DETECTORS, POLICIES, SOURCES, registry_epoch
 from .spec import (
     ScenarioSpec,
     SpecError,
@@ -62,11 +71,22 @@ class BatchResult:
     The per-request :class:`~repro.stream.StreamOutcome` ledgers stay
     intact (order matches the submitted requests); the properties roll
     them up into whole-batch quantities.
+
+    Attributes:
+        results: per-request results, in request order.
+        workers: worker count the executor ran with.
+        executor: name of the executor that served the batch.
+        wall_time_s: measured wall-clock time of the whole batch.
+        cache: the engine cache's hit/miss/eviction *delta* over this
+            batch (clip and result tiers), including work done inside
+            process-executor workers.
     """
 
     results: list[RunResult] = field(default_factory=list)
     workers: int = 1
+    executor: str = "serial"
     wall_time_s: float = 0.0
+    cache: CacheStats | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -119,7 +139,8 @@ class BatchResult:
     def report(self) -> str:
         """Human-readable whole-batch rollup."""
         lines = [
-            f"[batch] {len(self.results)} scenario(s), {self.workers} worker(s): "
+            f"[batch] {len(self.results)} scenario(s), "
+            f"{self.executor} executor x {self.workers} worker(s): "
             f"{self.total_frames} frames "
             f"({self.stage1_frames} stage-1, {self.reused_frames} reused)",
             f"  transfer: {self.total_bytes / 1024:.1f} kB",
@@ -127,6 +148,8 @@ class BatchResult:
             f"  ADC conversions: {self.total_conversions:,}",
             f"  peak image memory: {self.peak_image_memory_bytes / 1024:.1f} kB",
         ]
+        if self.cache is not None:
+            lines.append(f"  cache: {self.cache.describe()}")
         if self.wall_time_s > 0:
             lines.append(
                 f"  throughput: {self.frames_per_second:.1f} frames/s "
@@ -135,36 +158,28 @@ class BatchResult:
         return "\n".join(lines)
 
 
-def _source_key(scenario: ScenarioSpec) -> str | None:
-    """Cache key: everything that determines the rendered clip, bit for bit.
-
-    ``None`` means "don't share": params that JSON can't canonicalize
-    (possible via the Python API — numpy scalars, sets, ...) make the
-    request uncacheable rather than making the batch path fail where
-    sequential :meth:`Engine.run` would succeed.
-    """
-    try:
-        return json.dumps(
-            [scenario.source.to_dict(), scenario.n_frames, scenario.seed],
-            sort_keys=True,
-        )
-    except (TypeError, ValueError):
-        return None
-
-
 class Engine:
     """Stateless façade serving scenario requests against one system spec.
 
-    "Stateless" means no request leaves anything behind: all per-request
-    state (pipelines, trackers, detector frame counters) is constructed
-    fresh inside :meth:`run`, so one engine can serve concurrent requests
-    and repeated requests always return identical results.
+    "Stateless" means no request *changes* what another observes: all
+    per-request state (pipelines, trackers, detector frame counters) is
+    constructed fresh inside :meth:`run`, so one engine can serve
+    concurrent requests and repeated requests always return identical
+    results.  The engine's only cross-request state is its
+    :class:`~repro.service.EngineCache` — a pure memo over that
+    determinism, observable only through wall-clock time and the cache
+    stats on :class:`BatchResult`.
 
     Attributes:
         spec: the system served.
         scenarios: default workload (from the spec file's ``scenarios``
             list); used when :meth:`run_batch` gets no requests.
         workers: default worker count for :meth:`run_batch`.
+        executor: default executor name for :meth:`run_batch`
+            (one of ``EXECUTOR_NAMES``).
+        cache: the clip/result cache (pass
+            :meth:`EngineCache.disabled() <repro.service.EngineCache.disabled>`
+            for measurement runs that must recompute everything).
     """
 
     def __init__(
@@ -172,10 +187,22 @@ class Engine:
         spec: SystemSpec | None = None,
         scenarios: Iterable[ScenarioSpec] = (),
         workers: int = 1,
+        executor: str = "thread",
+        cache: EngineCache | None = None,
     ):
         self.spec = spec if spec is not None else SystemSpec()
         self.scenarios = tuple(scenarios)
         self.workers = workers
+        if executor not in EXECUTOR_NAMES:
+            raise SpecError(
+                f"service.executor: unknown executor {executor!r}; "
+                f"known executors: {list(EXECUTOR_NAMES)}"
+            )
+        self.executor = executor
+        self.cache = cache if cache is not None else EngineCache()
+        # The system never changes over the engine's lifetime: hash it once
+        # so per-request keys only hash the scenario.
+        self._system_key = spec_fingerprint(self.spec.to_dict())
         # Fail at construction, not mid-batch: both model slots must exist.
         self.spec.detector.resolve(DETECTORS, "system.detector")
         self.spec.classifier.resolve(CLASSIFIERS, "system.classifier")
@@ -193,7 +220,9 @@ class Engine:
             service = load_spec(spec)
         else:
             service = coerce_service_spec(spec)
-        return cls(service.system, service.scenarios, service.workers)
+        return cls(
+            service.system, service.scenarios, service.workers, service.executor
+        )
 
     # -- request construction ----------------------------------------------------
 
@@ -272,42 +301,73 @@ class Engine:
 
     # -- serving -----------------------------------------------------------------
 
-    def run(self, request, clip=None) -> RunResult:
-        """Serve one request.
+    @staticmethod
+    def _epoch_key(key: str | None) -> str | None:
+        # Spec content plus the registry override epoch: deleting a
+        # registered name (the documented override hatch) is the one event
+        # that can retarget an existing spec, so it must cold-start the
+        # caches — stale-epoch entries simply age out of the LRU.
+        return None if key is None else f"{key}:{registry_epoch()}"
 
-        Args:
-            request: a :class:`ScenarioSpec` or its dict form.
-            clip: pre-built source clip (internal batch path; must be the
-                clip the request's source spec would build).
+    def result_key_for(self, scenario: ScenarioSpec) -> str | None:
+        """This request's result-tier content address (``None`` = uncacheable)."""
+        return self._epoch_key(result_key(self.spec, scenario, self._system_key))
 
-        Returns:
-            :class:`RunResult` with the request's stream ledger.
-        """
-        scenario = self._as_scenario(request)
+    def _serve(self, scenario: ScenarioSpec, clip=None) -> RunResult:
+        """Run one scenario for real (no result memoization)."""
         if clip is None:
-            clip = self._build_clip(scenario)
+            clip = self.cache.clips.get_or_build(
+                self._epoch_key(clip_key(scenario)),
+                lambda: self._build_clip(scenario),
+            )
         runner, on_frame = self._build_runner(scenario, clip)
         outcome = runner.run(
             clip.frames, frame_seeds=scenario.frame_seeds, on_frame=on_frame
         )
         return RunResult(scenario=scenario, outcome=outcome)
 
+    def run(self, request, clip=None) -> RunResult:
+        """Serve one request, through the result cache.
+
+        Args:
+            request: a :class:`ScenarioSpec` or its dict form.
+            clip: pre-built source clip (bypasses both cache tiers; must
+                be the clip the request's source spec would build).
+
+        Returns:
+            :class:`RunResult` with the request's stream ledger.  A
+            repeat of an already-served ``(system, scenario)`` spec is
+            answered from the cache, bit-identical to a fresh run.
+        """
+        scenario = self._as_scenario(request)
+        if clip is not None:
+            return self._serve(scenario, clip)
+        return self.cache.results.get_or_build(
+            self.result_key_for(scenario), lambda: self._serve(scenario)
+        )
+
     def run_batch(
         self,
         requests: Sequence | None = None,
         workers: int | None = None,
+        executor: str | Executor | None = None,
     ) -> BatchResult:
-        """Serve many requests concurrently; results keep request order.
+        """Serve many requests through an executor; results keep order.
 
-        Identical ``(source, n_frames, seed)`` triples share one rendered
-        clip (read-only), and requests run on a thread pool.  Both are
-        purely wall-clock optimizations: per-request results are
-        bit-identical to sequential :meth:`run` calls.
+        Executors and caches are purely wall-clock optimizations:
+        per-request results are bit-identical to sequential :meth:`run`
+        calls whichever executor serves them.
 
         Args:
             requests: scenario specs (or dicts); defaults to the engine's
                 spec-file scenarios.
-            workers: thread count (defaults to the spec's ``workers``).
+            workers: pool size (defaults to the engine's ``workers``).
+            executor: executor name from ``EXECUTOR_NAMES`` (defaults to
+                the engine's ``executor``), or a constructed
+                :class:`Executor` instance to reuse a warm pool across
+                batches — instance pools are left open for the caller to
+                :meth:`~repro.service.Executor.close`, and their own
+                worker count wins over ``workers``.
 
         Returns:
             :class:`BatchResult`; a failed request re-raises its error.
@@ -320,33 +380,24 @@ class Engine:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
 
-        clips: dict[str, Future] = {}
-        clips_lock = Lock()
-
-        def clip_for(scenario: ScenarioSpec):
-            key = _source_key(scenario)
-            if key is None:
-                return self._build_clip(scenario)
-            with clips_lock:
-                fut = clips.get(key)
-                build = fut is None
-                if build:
-                    fut = clips[key] = Future()
-            if build:
-                try:
-                    fut.set_result(self._build_clip(scenario))
-                except BaseException as exc:
-                    fut.set_exception(exc)
-            return fut.result()
-
-        def serve(scenario: ScenarioSpec) -> RunResult:
-            return self.run(scenario, clip=clip_for(scenario))
-
-        start = time.perf_counter()
-        if workers == 1 or len(scenarios) <= 1:
-            results = [serve(s) for s in scenarios]
+        if isinstance(executor, Executor):
+            pool, owned = executor, False
         else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(serve, scenarios))
+            name = executor if executor is not None else self.executor
+            pool, owned = make_executor(name, workers), True
+
+        before = self.cache.stats()
+        start = time.perf_counter()
+        try:
+            results = pool.execute(self, scenarios)
+        finally:
+            if owned:
+                pool.close()
         wall = time.perf_counter() - start
-        return BatchResult(results=results, workers=workers, wall_time_s=wall)
+        return BatchResult(
+            results=results,
+            workers=pool.workers,
+            executor=pool.name,
+            wall_time_s=wall,
+            cache=self.cache.stats() - before,
+        )

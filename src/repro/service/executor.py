@@ -1,0 +1,294 @@
+"""Pluggable batch executors: serial, thread-pool, and process-pool.
+
+:meth:`Engine.run_batch` delegates *how* a batch of scenarios runs to an
+:class:`Executor`.  All three implementations produce bit-identical
+results — determinism is the engine's contract, seeded entirely by the
+specs — and differ only in wall-clock behavior:
+
+* :class:`SerialExecutor` — the reference loop; zero overhead, zero
+  concurrency.  What every other executor is asserted against.
+* :class:`ThreadExecutor` — one thread pool, shared address space, shared
+  engine cache.  Wins when requests overlap I/O or release the GIL;
+  NumPy-heavy pipeline work largely does not, which caps its speedup.
+* :class:`ProcessExecutor` — a spawn-safe process pool for the CPU-bound
+  case.  Scenarios are **chunked by clip key** so each worker renders a
+  shared clip once, and the work units it ships are plain picklable specs
+  (:class:`~repro.service.SystemSpec` + :class:`~repro.service.ScenarioSpec`),
+  rebuilt into a per-process engine on the other side.  Requires every
+  component named by the spec to be registered at import time in the
+  worker (i.e. registered by :mod:`repro.service.components` or another
+  imported module) — spawn does not inherit runtime registrations.
+
+Executors are selected by name (``EXECUTOR_NAMES``) via
+``ServiceSpec.executor`` or ``repro run --executor``; pass a constructed
+instance to :meth:`Engine.run_batch` to reuse a warm pool across batches
+(worker spawn costs are paid once per pool, not per batch).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import Engine, RunResult
+    from .spec import ScenarioSpec, SystemSpec
+
+#: Executor names a spec/CLI can select, in documentation order.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class Executor:
+    """How a batch of scenarios is driven through an engine.
+
+    Subclasses implement :meth:`execute`; pools (if any) persist across
+    calls until :meth:`close`, so a long-lived executor amortizes its
+    startup cost over every batch it serves.  Executors are context
+    managers: ``with ProcessExecutor(4) as pool: engine.run_batch(...)``.
+    """
+
+    #: Registry name; also what ``BatchResult.executor`` reports.
+    name: str = "?"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def execute(
+        self, engine: "Engine", scenarios: Sequence["ScenarioSpec"]
+    ) -> list["RunResult"]:
+        """Serve every scenario, returning results in request order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources; the executor is done serving."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """The reference: one request after another, in the calling thread."""
+
+    name = "serial"
+
+    def execute(self, engine, scenarios):
+        return [engine.run(s) for s in scenarios]
+
+
+class ThreadExecutor(Executor):
+    """The shared-memory pool: PR 2's ``run_batch`` behavior.
+
+    Threads share the engine's cache directly, so identical in-flight
+    requests single-flight through it; the pool persists across
+    :meth:`execute` calls.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def execute(self, engine, scenarios):
+        if self.workers == 1 or len(scenarios) <= 1:
+            return [engine.run(s) for s in scenarios]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(engine.run, scenarios))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _chunk_by_clip(
+    scenarios: Sequence[tuple[int, "ScenarioSpec"]], n_chunks: int
+) -> list[list[tuple[int, "ScenarioSpec"]]]:
+    """Pack indexed scenarios into ``<= n_chunks`` clip-coherent chunks.
+
+    Scenarios sharing a clip key gravitate into one chunk (their worker
+    renders the clip once), but a group larger than an even worker share
+    is split — a homogeneous fleet must not serialize onto one worker
+    (each worker that gets a piece renders the clip once; its memoized
+    engine amortizes that across the piece).  Pieces are distributed
+    greedily, largest first, onto the least-loaded chunk.  Uncacheable
+    scenarios (``clip_key`` is None) each form their own group — nothing
+    can share with them.
+    """
+    from .cache import clip_key
+
+    groups: dict[object, list[tuple[int, "ScenarioSpec"]]] = {}
+    for index, scenario in scenarios:
+        key = clip_key(scenario)
+        groups.setdefault(key if key is not None else ("solo", index), []).append(
+            (index, scenario)
+        )
+    # An even share per chunk; any group above it splits into share-sized
+    # pieces so parallelism never collapses to the distinct-clip count.
+    share = -(-len(scenarios) // n_chunks)  # ceil
+    pieces: list[list[tuple[int, "ScenarioSpec"]]] = []
+    for group in groups.values():
+        pieces.extend(group[i : i + share] for i in range(0, len(group), share))
+    chunks: list[list[tuple[int, "ScenarioSpec"]]] = [
+        [] for _ in range(min(n_chunks, len(pieces)))
+    ]
+    for piece in sorted(pieces, key=len, reverse=True):
+        min(chunks, key=len).extend(piece)
+    return [c for c in chunks if c]
+
+
+#: Worker-side engines, memoized per (system spec, cache policy) so a
+#: long-lived worker keeps its clip/result caches warm across the chunks
+#: it serves.  LRU-bounded: a worker sweeping many distinct systems must
+#: not pin every old engine (and its cached clips) forever.
+_WORKER_ENGINES: "OrderedDict[tuple, Engine]" = OrderedDict()
+_WORKER_ENGINE_LIMIT = 4
+
+
+def _run_chunk(
+    system: "SystemSpec",
+    items: list[tuple[int, "ScenarioSpec"]],
+    cache_capacities: tuple[int, int],
+):
+    """Worker entry point: serve one chunk against a per-process engine.
+
+    Module-level (picklable by reference) and lazy-importing, as the
+    spawn start method requires.  The worker engine mirrors the parent's
+    cache capacities — a parent that disabled caching gets a worker that
+    really recomputes.  Returns the indexed results plus the chunk's
+    clip-tier stats delta, so the parent's accounting covers work done
+    here.
+    """
+    from .cache import EngineCache, spec_fingerprint
+    from .engine import Engine
+
+    clip_capacity, result_capacity = cache_capacities
+    key = (spec_fingerprint(system.to_dict()) or repr(system), cache_capacities)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = _WORKER_ENGINES[key] = Engine(
+            system,
+            cache=EngineCache(
+                clip_capacity=clip_capacity, result_capacity=result_capacity
+            ),
+        )
+    _WORKER_ENGINES.move_to_end(key)
+    while len(_WORKER_ENGINES) > _WORKER_ENGINE_LIMIT:
+        _WORKER_ENGINES.popitem(last=False)
+    before = engine.cache.clips.stats.snapshot()
+    results = [(index, engine.run(scenario)) for index, scenario in items]
+    return results, engine.cache.clips.stats - before
+
+
+class ProcessExecutor(Executor):
+    """The multi-core pool: true parallelism for GIL-bound pipeline work.
+
+    Spawn-safe by construction — work units are picklable specs, the
+    worker function is module-level, and each worker rebuilds its engine
+    from the spec (memoized per process).  The pool spawns lazily on
+    first use and persists until :meth:`close`, so batch N+1 never pays
+    interpreter startup again.
+
+    The parent serves result-cache hits locally and dispatches only the
+    deduplicated misses; worker clip-tier stats are folded back into the
+    engine's cache accounting.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=get_context("spawn")
+            )
+        return self._pool
+
+    def execute(self, engine, scenarios):
+        results = [None] * len(scenarios)
+        # Parent-side memoization: serve hits here, dispatch each distinct
+        # miss exactly once (duplicate requests share one work unit and
+        # count as hits, matching the single-flight accounting of the
+        # in-process executors).  With the result tier disabled, nothing
+        # may be deduplicated either — a disabled cache means "recompute
+        # everything", exactly like serial/thread.
+        memoize = engine.cache.results.capacity > 0
+        keys = [engine.result_key_for(s) if memoize else None for s in scenarios]
+        pending: dict[object, list[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            key = keys[index] if keys[index] is not None else ("solo", index)
+            duplicates = pending.get(key)
+            if duplicates is not None:
+                engine.cache.results.record_shared_hit()
+                duplicates.append(index)
+                continue
+            hit, value = engine.cache.results.peek(keys[index])
+            if hit:
+                results[index] = value
+            else:
+                pending[key] = [index]
+
+        unique = [(indices[0], scenarios[indices[0]]) for indices in pending.values()]
+        if unique:
+            capacities = (
+                engine.cache.clips.capacity,
+                engine.cache.results.capacity,
+            )
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_run_chunk, engine.spec, chunk, capacities)
+                for chunk in _chunk_by_clip(unique, self.workers)
+            ]
+            for future in futures:
+                chunk_results, clip_stats = future.result()
+                engine.cache.clips.merge_stats(clip_stats)
+                for index, result in chunk_results:
+                    key = keys[index] if keys[index] is not None else ("solo", index)
+                    engine.cache.results.put(keys[index], result)
+                    for duplicate in pending[key]:
+                        results[duplicate] = result
+        return results
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def make_executor(name: str, workers: int = 1) -> Executor:
+    """Build an executor by registry name.
+
+    Raises:
+        SpecError: unknown name; the message lists what exists.
+    """
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        from .spec import SpecError
+
+        raise SpecError(
+            f"executor: unknown executor {name!r}; "
+            f"known executors: {list(EXECUTOR_NAMES)}"
+        ) from None
+    return factory(workers)

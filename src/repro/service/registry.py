@@ -42,6 +42,19 @@ class UnknownComponentError(KeyError):
         )
 
 
+#: Bumped whenever a registered name is *deleted* — the override escape
+#: hatch is the only way an existing spec can start meaning something
+#: else, so engine caches fold this epoch into their keys and go cold
+#: exactly then (additive registrations can't retarget existing specs:
+#: duplicate names are rejected).
+_OVERRIDE_EPOCH = 0
+
+
+def registry_epoch() -> int:
+    """Current override epoch (see :data:`_OVERRIDE_EPOCH`)."""
+    return _OVERRIDE_EPOCH
+
+
 class Registry:
     """One named slot type: an ordered mapping of names to factories.
 
@@ -98,6 +111,8 @@ class Registry:
         if name not in self._factories:
             raise UnknownComponentError(self.kind, name, self.names())
         del self._factories[name]
+        global _OVERRIDE_EPOCH
+        _OVERRIDE_EPOCH += 1
 
     def __repr__(self) -> str:
         return f"Registry({self.kind!r}, {self.names()})"

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from ..core.config import HiRISEConfig
 from ..sensor.noise import NoiseModel
+from .executor import EXECUTOR_NAMES
 from .registry import CLASSIFIERS, DETECTORS, POLICIES, SOURCES, Registry
 
 
@@ -283,27 +284,42 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class ServiceSpec:
-    """A complete spec file: one system, many scenarios, a worker count."""
+    """A complete spec file: one system, scenarios, and execution knobs.
+
+    Attributes:
+        system: the served :class:`SystemSpec`.
+        scenarios: default workload.
+        workers: default pool size for batch serving.
+        executor: default batch executor — "serial", "thread", or
+            "process" (see :mod:`repro.service.executor`).
+    """
 
     system: SystemSpec = field(default_factory=SystemSpec)
     scenarios: tuple[ScenarioSpec, ...] = ()
     workers: int = 1
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise SpecError(f"workers: must be >= 1, got {self.workers}")
+        if self.executor not in EXECUTOR_NAMES:
+            raise SpecError(
+                f"spec.executor: unknown executor {self.executor!r}; "
+                f"known executors: {list(EXECUTOR_NAMES)}"
+            )
 
     def to_dict(self) -> dict:
         return {
             "system": self.system.to_dict(),
             "scenarios": [s.to_dict() for s in self.scenarios],
             "workers": self.workers,
+            "executor": self.executor,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServiceSpec":
         _require(data, "spec", dict, "dict")
-        _reject_unknown(data, {"system", "scenarios", "workers"}, "spec")
+        _reject_unknown(data, {"system", "scenarios", "workers", "executor"}, "spec")
         kwargs = {}
         if "system" in data:
             system = data["system"]
@@ -322,6 +338,10 @@ class ServiceSpec:
             )
         if "workers" in data:
             kwargs["workers"] = _require(data["workers"], "spec.workers", int, "int")
+        if "executor" in data:
+            kwargs["executor"] = _require(
+                data["executor"], "spec.executor", str, "str"
+            )
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:
@@ -357,6 +377,11 @@ def coerce_service_spec(data) -> "ServiceSpec":
     if isinstance(data, SystemSpec):
         return ServiceSpec(system=data)
     _require(data, "spec", dict, "dict")
-    if "scenarios" in data or "workers" in data or isinstance(data.get("system"), dict):
+    if (
+        "scenarios" in data
+        or "workers" in data
+        or "executor" in data
+        or isinstance(data.get("system"), dict)
+    ):
         return ServiceSpec.from_dict(data)
     return ServiceSpec(system=SystemSpec.from_dict(data))

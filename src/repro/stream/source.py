@@ -64,6 +64,34 @@ class SyntheticClip:
     def __len__(self) -> int:
         return len(self.frames)
 
+    @property
+    def nbytes(self) -> int:
+        """Total frame-buffer size (what a pickle would have to move)."""
+        return sum(f.nbytes for f in self.frames)
+
+    # Clips cross process boundaries (the service layer's process
+    # executor, spawn-safe work units), so pickling must be cheap: a
+    # uniform clip serializes as ONE contiguous (N, H, W, C) block
+    # instead of N separately-framed arrays.  Restored frames are views
+    # into that block — read-only consumers (every pipeline path copies
+    # before mutating) see bit-identical data.
+
+    def __getstate__(self) -> dict:
+        state = {"ground_truth": self.ground_truth, "resolution": self.resolution}
+        uniform = len({(f.shape, f.dtype.str) for f in self.frames}) == 1
+        if self.frames and uniform:
+            state["frame_stack"] = np.stack(self.frames)
+        else:
+            state["frames"] = self.frames
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        stack = state.pop("frame_stack", None)
+        frames = list(stack) if stack is not None else state.pop("frames")
+        object.__setattr__(self, "frames", frames)
+        object.__setattr__(self, "ground_truth", state["ground_truth"])
+        object.__setattr__(self, "resolution", state["resolution"])
+
 
 def _render_clip(
     actors: Sequence[Actor],

@@ -49,9 +49,33 @@ class LinkModel:
     energy_per_byte: float = 0.0
     bandwidth_bytes_per_s: float | None = None
 
+    def __post_init__(self) -> None:
+        # `not (x >= 0)` rather than `x < 0`: NaN must not slip through
+        # and silently poison every downstream ledger total.
+        if not (self.per_transaction_overhead_bytes >= 0):
+            raise ValueError(
+                f"link.per_transaction_overhead_bytes: must be >= 0, "
+                f"got {self.per_transaction_overhead_bytes}"
+            )
+        if not (self.energy_per_byte >= 0):
+            raise ValueError(
+                f"link.energy_per_byte: must be >= 0, got {self.energy_per_byte}"
+            )
+        if self.bandwidth_bytes_per_s is not None and not (
+            self.bandwidth_bytes_per_s > 0
+        ):
+            raise ValueError(
+                f"link.bandwidth_bytes_per_s: must be positive (or None for "
+                f"no latency model), got {self.bandwidth_bytes_per_s}"
+            )
+
     def transfer_bytes(self, payload_bytes: int, n_transactions: int = 1) -> int:
-        """Total bytes on the wire for a payload split over transactions."""
-        if payload_bytes < 0 or n_transactions < 1:
+        """Total bytes on the wire for a payload split over transactions.
+
+        ``n_transactions=0`` is a legal idle link (no payload framed, no
+        overhead charged); negative counts are rejected.
+        """
+        if payload_bytes < 0 or n_transactions < 0:
             raise ValueError("invalid payload/transaction count")
         return payload_bytes + self.per_transaction_overhead_bytes * n_transactions
 
@@ -101,8 +125,13 @@ class TransferLedger:
 
     @property
     def wire_bytes(self) -> int:
-        """Payload plus link overhead."""
-        return self.link.transfer_bytes(self.total_bytes, max(self.transactions, 1))
+        """Payload plus link overhead for the transactions actually logged.
+
+        An idle frame — nothing transferred, nothing logged — costs 0
+        wire bytes (it used to be charged one phantom transaction of
+        overhead).
+        """
+        return self.link.transfer_bytes(self.total_bytes, self.transactions)
 
     @property
     def link_energy(self) -> float:

@@ -38,9 +38,55 @@ class TestQuantization:
         assert list(codes) == [0, 0, 1, 1]
 
     def test_noise_is_deterministic_given_seed(self):
+        # two converters with one seed replay the same noise *stream*...
+        a = ADCModel(noise_lsb=0.5, seed=11)
+        b = ADCModel(noise_lsb=0.5, seed=11)
+        v = np.full(100, 0.5)
+        assert np.array_equal(a.convert(v), b.convert(v))
+        assert np.array_equal(a.convert(v), b.convert(v))
+
+    def test_consecutive_conversions_draw_fresh_noise(self):
+        # regression: the fallback rng used to be re-seeded per call, so
+        # every noisy frame in a stream got the identical realization
         adc = ADCModel(noise_lsb=0.5, seed=11)
         v = np.full(100, 0.5)
-        assert np.array_equal(adc.convert(v), adc.convert(v))
+        first, second = adc.convert(v), adc.convert(v)
+        assert not np.array_equal(first, second)
+        # same through the normalized readout path
+        assert not np.array_equal(adc.digitize(v), adc.digitize(v))
+
+    def test_explicit_rng_still_wins(self):
+        adc = ADCModel(noise_lsb=0.5, seed=11)
+        v = np.full(64, 0.5)
+        one = adc.convert(v, rng=np.random.default_rng(3))
+        two = adc.convert(v, rng=np.random.default_rng(3))
+        assert np.array_equal(one, two)
+
+    def test_concurrent_fallback_draws_are_distinct(self):
+        # the lazily-created fallback stream is shared state: racing
+        # threads must neither duplicate a realization nor crash the rng
+        import threading
+
+        adc = ADCModel(noise_lsb=0.5, seed=11)
+        v = np.full(256, 0.5)
+        gate = threading.Barrier(4)
+        outputs = []
+        lock = threading.Lock()
+
+        def draw():
+            gate.wait(timeout=5)
+            codes = adc.convert(v)
+            with lock:
+                outputs.append(codes)
+
+        threads = [threading.Thread(target=draw) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(len(outputs)):
+            for j in range(i + 1, len(outputs)):
+                assert not np.array_equal(outputs[i], outputs[j])
 
     def test_rejects_bad_bits(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,231 @@
+"""Tests for the executor layer: selection, bit-identity, chunking."""
+
+import numpy as np
+import pytest
+
+from repro.core import HiRISEConfig
+from repro.service import (
+    ComponentRef,
+    Engine,
+    EngineCache,
+    ProcessExecutor,
+    ScenarioSpec,
+    SerialExecutor,
+    ServiceSpec,
+    SpecError,
+    SystemSpec,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.service.executor import EXECUTOR_NAMES, _chunk_by_clip
+
+SYSTEM = SystemSpec(
+    config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+    detector=ComponentRef("ground-truth", {"label": "person"}),
+)
+
+
+def scenario(**kwargs) -> ScenarioSpec:
+    defaults = dict(
+        source=ComponentRef("pedestrian", {"resolution": [64, 48]}),
+        n_frames=2,
+        seed=4,
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+def requests() -> list[ScenarioSpec]:
+    return [
+        scenario(name="a/frame"),
+        scenario(name="a/reuse", policy=ComponentRef("temporal-reuse")),
+        scenario(name="b/other-seed", seed=9),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Sequential, cache-free ground truth for every executor to match."""
+    engine = Engine(SYSTEM, cache=EngineCache.disabled())
+    return [engine.run(r) for r in requests()]
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """One spawn pool for the whole module (spawning is the slow part)."""
+    with ProcessExecutor(workers=2) as pool:
+        yield pool
+
+
+class TestSelection:
+    def test_make_executor_by_name(self):
+        for name, cls in (
+            ("serial", SerialExecutor),
+            ("thread", ThreadExecutor),
+            ("process", ProcessExecutor),
+        ):
+            executor = make_executor(name, workers=2)
+            assert isinstance(executor, cls)
+            assert executor.name == name
+            assert executor.workers == 2
+            executor.close()
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(SpecError, match=r"executor.*'gpu'.*serial"):
+            make_executor("gpu")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SerialExecutor(workers=0)
+
+    def test_engine_rejects_unknown_executor(self):
+        with pytest.raises(SpecError, match=r"service\.executor.*'quantum'"):
+            Engine(SYSTEM, executor="quantum")
+
+    def test_service_spec_executor_field(self):
+        spec = ServiceSpec(system=SYSTEM, executor="process")
+        assert ServiceSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["executor"] == "process"
+        # default stays the PR 2 behavior
+        assert ServiceSpec().executor == "thread"
+        with pytest.raises(SpecError, match=r"spec\.executor.*'warp'"):
+            ServiceSpec(executor="warp")
+        with pytest.raises(SpecError, match=r"spec\.executor"):
+            ServiceSpec.from_dict({"executor": 3})
+
+    def test_engine_from_spec_carries_executor(self):
+        engine = Engine.from_spec(
+            {"system": {"system": "hirise"}, "executor": "serial"}
+        )
+        assert engine.executor == "serial"
+        assert engine.run_batch([{"n_frames": 1, "seed": 0}]).executor == "serial"
+
+
+class TestBitIdentity:
+    def test_serial_matches_reference(self, reference):
+        batch = Engine(SYSTEM).run_batch(requests(), executor="serial")
+        assert batch.executor == "serial"
+        for got, want in zip(batch, reference):
+            assert got.scenario == want.scenario
+            assert got.outcome.frames == want.outcome.frames
+
+    def test_thread_matches_reference(self, reference):
+        batch = Engine(SYSTEM).run_batch(requests(), workers=3, executor="thread")
+        assert batch.executor == "thread"
+        for got, want in zip(batch, reference):
+            assert got.outcome.frames == want.outcome.frames
+
+    def test_process_matches_reference(self, reference, process_pool):
+        batch = Engine(SYSTEM).run_batch(requests(), executor=process_pool)
+        assert batch.executor == "process"
+        assert [r.scenario.name for r in batch] == [r.name for r in requests()]
+        for got, want in zip(batch, reference):
+            assert got.outcome.frames == want.outcome.frames
+
+    def test_process_round_trips_images(self, process_pool):
+        request = scenario(keep_outcomes=True)
+        fresh = Engine(SYSTEM, cache=EngineCache.disabled()).run(request)
+        batch = Engine(SYSTEM).run_batch([request], executor=process_pool)
+        for a, b in zip(batch[0].outcome.outcomes, fresh.outcome.outcomes):
+            assert np.array_equal(a.stage1_image, b.stage1_image)
+            for ca, cb in zip(a.roi_crops, b.roi_crops):
+                assert np.array_equal(ca, cb)
+
+    def test_process_serves_repeat_batches_from_cache(self, process_pool):
+        engine = Engine(SYSTEM)
+        cold = engine.run_batch(requests(), executor=process_pool)
+        warm = engine.run_batch(requests(), executor=process_pool)
+        assert warm.cache.results.hits == len(requests())
+        assert warm.cache.results.misses == 0
+        assert [r.outcome.frames for r in warm] == [
+            r.outcome.frames for r in cold
+        ]
+
+    def test_process_duplicate_requests_count_like_single_flight(self, process_pool):
+        # duplicates in one batch: 1 dispatched miss + 1 shared hit, the
+        # same accounting serial/thread report via the single-flight cache
+        engine = Engine(SYSTEM)
+        batch = engine.run_batch([scenario(), scenario()], executor=process_pool)
+        assert batch.cache.results.misses == 1
+        assert batch.cache.results.hits == 1
+        assert batch[0].outcome.frames == batch[1].outcome.frames
+
+    def test_process_disabled_cache_recomputes_duplicates(self, process_pool):
+        # EngineCache.disabled() means recompute everything — no dedup, no
+        # hits, exactly like serial/thread with a disabled tier
+        engine = Engine(SYSTEM, cache=EngineCache.disabled())
+        batch = engine.run_batch([scenario(), scenario()], executor=process_pool)
+        assert batch.cache.results.hits == 0
+        assert batch.cache.results.misses == 2
+        assert batch[0] is not batch[1]
+        assert batch[0].outcome.frames == batch[1].outcome.frames
+
+    def test_process_propagates_spec_errors(self, process_pool):
+        engine = Engine(SYSTEM)
+        bad = [scenario(), scenario(source=ComponentRef("webcam"))]
+        with pytest.raises(SpecError, match="webcam"):
+            engine.run_batch(bad, executor=process_pool)
+
+    def test_executor_instance_overrides_name_and_stays_open(self):
+        pool = ThreadExecutor(workers=2)
+        engine = Engine(SYSTEM, executor="serial")
+        batch = engine.run_batch(requests(), executor=pool)
+        assert batch.executor == "thread"
+        assert batch.workers == 2
+        # the caller's pool is not closed by run_batch
+        again = engine.run_batch(requests(), executor=pool)
+        assert len(again) == len(requests())
+        pool.close()
+
+
+class TestChunking:
+    def test_groups_shared_clips_together_within_even_share(self):
+        # 2 clip-sharers + 2 solos over 2 chunks: the sharers fit an even
+        # share (ceil(4/2) = 2), so they stay together in one chunk
+        shared = [scenario(name=f"s{i}") for i in range(2)]
+        solos = [scenario(seed=98), scenario(seed=99)]
+        chunks = _chunk_by_clip(list(enumerate(shared + solos)), n_chunks=2)
+        assert sorted(i for chunk in chunks for i, _ in chunk) == [0, 1, 2, 3]
+        assert sorted(len(c) for c in chunks) == [2, 2]
+        by_chunk = [{i for i, _ in c} for c in chunks]
+        assert {0, 1} in by_chunk
+
+    def test_homogeneous_fleet_splits_across_workers(self):
+        # one shared clip must not serialize the whole batch onto one worker
+        indexed = [(i, scenario(name=f"s{i}")) for i in range(8)]
+        chunks = _chunk_by_clip(indexed, n_chunks=4)
+        assert len(chunks) == 4
+        assert sorted(len(c) for c in chunks) == [2, 2, 2, 2]
+
+    def test_respects_chunk_budget(self):
+        indexed = [(i, scenario(seed=i)) for i in range(8)]
+        chunks = _chunk_by_clip(indexed, n_chunks=3)
+        assert len(chunks) <= 3
+        assert sorted(i for chunk in chunks for i, _ in chunk) == list(range(8))
+
+    def test_uncacheable_scenarios_stay_solo(self):
+        odd = scenario(
+            source=ComponentRef(
+                "pedestrian", {"resolution": [64, 48], "n_walkers": np.int64(2)}
+            )
+        )
+        chunks = _chunk_by_clip([(0, odd), (1, odd)], n_chunks=2)
+        assert sorted(len(c) for c in chunks) == [1, 1]
+
+    def test_executor_names_constant(self):
+        assert EXECUTOR_NAMES == ("serial", "thread", "process")
+
+    def test_cli_choices_match_executor_names(self):
+        # __main__ hardcodes the choices to keep parser construction cheap;
+        # this pins the two lists together
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if isinstance(a.choices, dict)
+        )
+        run_parser = subparsers.choices["run"]
+        executor_arg = next(
+            a for a in run_parser._actions if "--executor" in a.option_strings
+        )
+        assert tuple(executor_arg.choices) == EXECUTOR_NAMES

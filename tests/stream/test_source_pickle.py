@@ -1,0 +1,51 @@
+"""Tests for clip picklability: the process executor's transport contract."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.stream import pedestrian_clip
+from repro.stream.source import SyntheticClip, drone_traffic_clip
+
+
+class TestSyntheticClipPickle:
+    @pytest.mark.parametrize("make", [pedestrian_clip, drone_traffic_clip])
+    def test_round_trip_bit_identical(self, make):
+        clip = make(n_frames=3, resolution=(64, 48), seed=4)
+        copy = pickle.loads(pickle.dumps(clip))
+        assert len(copy) == len(clip)
+        assert copy.resolution == clip.resolution
+        assert copy.ground_truth == clip.ground_truth
+        for a, b in zip(clip.frames, copy.frames):
+            assert np.array_equal(a, b)
+            assert a.dtype == b.dtype
+            assert a.shape == b.shape
+
+    def test_uniform_clip_pickles_as_one_block(self):
+        clip = pedestrian_clip(n_frames=4, resolution=(64, 48), seed=4)
+        state = clip.__getstate__()
+        assert "frame_stack" in state
+        assert state["frame_stack"].shape == (4, 48, 64, 3)
+        # one contiguous buffer, not N separately-pickled arrays
+        payload = pickle.dumps(clip)
+        assert len(payload) < clip.nbytes + 4096
+
+    def test_ragged_clip_still_pickles(self):
+        clip = SyntheticClip(
+            frames=[np.zeros((4, 4, 3)), np.zeros((2, 2, 3))],
+            ground_truth=[[], []],
+            resolution=(4, 4),
+        )
+        copy = pickle.loads(pickle.dumps(clip))
+        assert [f.shape for f in copy.frames] == [(4, 4, 3), (2, 2, 3)]
+
+    def test_empty_clip_pickles(self):
+        clip = SyntheticClip(frames=[], ground_truth=[], resolution=(8, 8))
+        copy = pickle.loads(pickle.dumps(clip))
+        assert copy.frames == []
+        assert copy.resolution == (8, 8)
+
+    def test_nbytes_counts_frame_buffers(self):
+        clip = pedestrian_clip(n_frames=2, resolution=(64, 48), seed=4)
+        assert clip.nbytes == 2 * 48 * 64 * 3 * 8  # float64 RGB

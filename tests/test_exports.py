@@ -32,6 +32,9 @@ class TestLazyExports:
     def test_service_names_in_export_table(self):
         for name in (
             "Engine",
+            "EngineCache",
+            "Executor",
+            "make_executor",
             "BatchResult",
             "RunResult",
             "SystemSpec",

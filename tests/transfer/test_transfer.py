@@ -32,7 +32,32 @@ class TestLinkModel:
         with pytest.raises(ValueError):
             LinkModel().transfer_bytes(-1)
         with pytest.raises(ValueError):
-            LinkModel().transfer_bytes(10, n_transactions=0)
+            LinkModel().transfer_bytes(10, n_transactions=-1)
+
+    def test_zero_transactions_is_an_idle_link(self):
+        link = LinkModel(per_transaction_overhead_bytes=8)
+        assert link.transfer_bytes(0, n_transactions=0) == 0
+        # payload without framed transactions: no overhead to charge
+        assert link.transfer_bytes(10, n_transactions=0) == 10
+
+    def test_zero_bandwidth_rejected_at_construction(self):
+        # regression: bandwidth=0 used to surface later as ZeroDivisionError
+        with pytest.raises(ValueError, match=r"link\.bandwidth_bytes_per_s"):
+            LinkModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError, match=r"link\.bandwidth_bytes_per_s"):
+            LinkModel(bandwidth_bytes_per_s=-1e6)
+        with pytest.raises(ValueError, match=r"link\.bandwidth_bytes_per_s"):
+            LinkModel(bandwidth_bytes_per_s=float("nan"))
+
+    def test_negative_overhead_and_energy_rejected(self):
+        with pytest.raises(ValueError, match=r"link\.per_transaction_overhead"):
+            LinkModel(per_transaction_overhead_bytes=-1)
+        with pytest.raises(ValueError, match=r"link\.energy_per_byte"):
+            LinkModel(energy_per_byte=-1e-9)
+        with pytest.raises(ValueError, match=r"link\.per_transaction_overhead"):
+            LinkModel(per_transaction_overhead_bytes=float("nan"))
+        with pytest.raises(ValueError, match=r"link\.energy_per_byte"):
+            LinkModel(energy_per_byte=float("nan"))
 
 
 class TestRoiDescriptors:
@@ -76,6 +101,15 @@ class TestTransferLedger:
         ledger.add_stage2_rois(50, n_rois=2)
         assert ledger.transactions == 3
         assert ledger.wire_bytes == 150 + 12
+
+    def test_empty_ledger_costs_zero_wire_bytes(self):
+        # regression: an idle frame used to be charged one phantom
+        # transaction of overhead (max(transactions, 1))
+        ledger = TransferLedger(link=LinkModel(per_transaction_overhead_bytes=64))
+        assert ledger.total_bytes == 0
+        assert ledger.transactions == 0
+        assert ledger.wire_bytes == 0
+        assert ledger.link_energy == 0.0
 
     def test_link_energy(self):
         ledger = TransferLedger(link=LinkModel(energy_per_byte=1e-9))
