@@ -35,6 +35,11 @@ _EXPORTS = {
     "HiRISEPipeline": "repro.core",
     "ConventionalPipeline": "repro.core",
     "PipelineOutcome": "repro.core",
+    "PhaseProfile": "repro.core",
+    "PhaseProfiler": "repro.core",
+    "classify_crops": "repro.core",
+    "CropClassifier": "repro.ml",
+    "CropPrediction": "repro.ml",
     "CostBreakdown": "repro.core",
     "EnergyModel": "repro.core",
     "conventional_costs": "repro.core",

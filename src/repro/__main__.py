@@ -28,6 +28,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (SpecError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    engine.profile = args.profile
     if not engine.scenarios:
         print(
             f"error: {args.spec}: spec has no scenarios to run "
@@ -148,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=["serial", "thread", "process"], default=None,
         help="batch executor (default: the spec's executor; process = "
         "spawn-safe multi-core pool for CPU-bound fleets)",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="collect a per-phase wall-clock breakdown for every request "
+        "(expose / stage1.read / detect / condition / stage2.read / "
+        "stage2.classify); profiled requests always recompute",
     )
 
     sub.add_parser(

@@ -94,6 +94,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_service_batch.py",
             ("repro.service", "repro.stream", "repro.core"),
         ),
+        Experiment(
+            "hotpath",
+            "Ext. C",
+            "Serving hot path: phase breakdown + batched stage-2 vs per-crop loop (BENCH_hotpath.json)",
+            "benchmarks/bench_hotpath.py",
+            ("repro.core.profiling", "repro.ml", "repro.service"),
+        ),
     )
 }
 

@@ -18,7 +18,13 @@ from .energy import (
     EnergyModel,
     POOLING_ENERGY_PER_OUTPUT,
 )
-from .pipeline import ConventionalPipeline, HiRISEPipeline, PipelineOutcome
+from .pipeline import (
+    ConventionalPipeline,
+    HiRISEPipeline,
+    PipelineOutcome,
+    classify_crops,
+)
+from .profiling import PhaseProfile, PhaseProfiler, PhaseStats, profiled
 from .tracking import ROITracker, Track, VideoFrameResult, VideoHiRISEPipeline
 from .report import Comparison, compare, comparison_report, format_bytes, format_energy
 from .roi import (
@@ -40,6 +46,9 @@ __all__ = [
     "HiRISEConfig",
     "HiRISEPipeline",
     "POOLING_ENERGY_PER_OUTPUT",
+    "PhaseProfile",
+    "PhaseProfiler",
+    "PhaseStats",
     "PipelineOutcome",
     "ROI",
     "ROITracker",
@@ -49,6 +58,7 @@ __all__ = [
     "StageCosts",
     "WORD_BITS",
     "WORDS_PER_ROI",
+    "classify_crops",
     "compare",
     "comparison_report",
     "conventional_costs",
@@ -60,6 +70,7 @@ __all__ = [
     "hirise_stage2_costs",
     "merge_overlapping",
     "prepare_rois",
+    "profiled",
     "roi_feedback_bits",
     "total_area",
     "union_area",

@@ -8,7 +8,8 @@ paper's Fig. 3 dataflow:
    frame only, transfer to the processor, run the stage-1 detector;
 3. feed the ROI descriptors back to the sensor (D1 P->S);
 4. **stage 2** — selective full-resolution readout of the ROIs, transfer,
-   and (optionally) run the stage-2 task model on each crop.
+   and (optionally) the stage-2 task model over the crops — batched by
+   post-resize shape via :func:`classify_crops`, one forward per bucket.
 
 :class:`ConventionalPipeline` is the baseline: convert and ship the whole
 frame, then run the models on the processor.
@@ -29,12 +30,59 @@ from ..sensor import ADCModel, AnalogPoolingModel, NoiseModel, PixelArray, Senso
 from ..transfer import TransferLedger, LinkModel
 from .config import HiRISEConfig
 from .energy import EnergyBreakdown, EnergyModel
+from .profiling import PhaseProfiler, profiled
 from .roi import ROI, prepare_rois
 
 #: A detector is anything mapping a frame to detection-like objects.
 Detector = Callable[[np.ndarray], Sequence]
-#: A classifier maps an RGB crop to an arbitrary prediction.
+#: A classifier maps an RGB crop to an arbitrary prediction.  Classifiers
+#: may additionally expose the batch protocol of
+#: :class:`repro.ml.CropClassifier` (``classify_batch`` + optional
+#: ``preprocess``), which :func:`classify_crops` exploits to serve a whole
+#: frame's crops in one forward per shape bucket.
 Classifier = Callable[[np.ndarray], object]
+
+
+def classify_crops(classifier: Classifier | None, crops: Sequence[np.ndarray]) -> list[object]:
+    """Run the stage-2 task model over a frame's ROI crops, batched.
+
+    Classifiers exposing ``classify_batch(stack)`` (duck-typed; see
+    :class:`repro.ml.CropClassifier`) have their crops bucketed by
+    post-``preprocess`` shape and served **one forward per bucket**
+    instead of one per crop; plain callables keep the per-crop loop.
+    Results always come back in crop order, and in float64 compute mode
+    the batched path is bit-identical to the per-crop loop (asserted by
+    tests and ``benchmarks/bench_hotpath.py``).
+
+    Note this changes *processor-side execution* only: Eq. 2 peak-memory
+    accounting keeps its documented per-crop semantics (crops arrive from
+    the sensor one window at a time; the largest crop bounds M2).
+    """
+    crops = list(crops)
+    if classifier is None or not crops:
+        return []
+    classify_batch = getattr(classifier, "classify_batch", None)
+    if classify_batch is None:
+        return [classifier(crop) for crop in crops]
+    preprocess = getattr(classifier, "preprocess", None)
+    prepped = [
+        np.asarray(crop if preprocess is None else preprocess(crop))
+        for crop in crops
+    ]
+    buckets: dict[tuple, list[int]] = {}
+    for index, image in enumerate(prepped):
+        buckets.setdefault(image.shape, []).append(index)
+    predictions: list[object] = [None] * len(crops)
+    for indices in buckets.values():
+        outputs = list(classify_batch(np.stack([prepped[i] for i in indices])))
+        if len(outputs) != len(indices):
+            raise ValueError(
+                f"classify_batch returned {len(outputs)} predictions "
+                f"for a stack of {len(indices)} crops"
+            )
+        for index, output in zip(indices, outputs):
+            predictions[index] = output
+    return predictions
 
 
 @dataclass
@@ -128,6 +176,10 @@ class HiRISEPipeline:
         noise: sensor noise model baked into exposures.
         pooling_model: behavioral analog pooling model.
         link: physical link model for the ledger.
+        profiler: optional :class:`~repro.core.PhaseProfiler`; when set,
+            every phase method records its wall-clock under the hot-path
+            taxonomy (``expose``, ``stage1.read``, ``detect``,
+            ``condition``, ``stage2.read``, ``stage2.classify``).
     """
 
     detector: Detector | None = None
@@ -137,6 +189,7 @@ class HiRISEPipeline:
     noise: NoiseModel | None = None
     pooling_model: AnalogPoolingModel | None = None
     link: LinkModel = field(default_factory=LinkModel)
+    profiler: PhaseProfiler | None = None
 
     # -- phases ------------------------------------------------------------------
     #
@@ -149,15 +202,17 @@ class HiRISEPipeline:
         self, image: np.ndarray | PixelArray, frame_seed: int = 0
     ) -> SensorReadout:
         """Expose the scene and bind this pipeline's readout chain to it."""
-        return _build_readout(
-            image, self.config.adc_bits, self.noise, self.pooling_model, frame_seed
-        )
+        with profiled(self.profiler, "expose"):
+            return _build_readout(
+                image, self.config.adc_bits, self.noise, self.pooling_model, frame_seed
+            )
 
     def read_stage1(self, readout: SensorReadout, ledger: TransferLedger):
         """Stage-1 sensor work: pooled conversion, logged on the ledger."""
-        stage1 = readout.read_compressed(
-            self.config.pool_k, grayscale=self.config.grayscale_stage1
-        )
+        with profiled(self.profiler, "stage1"), profiled(self.profiler, "read"):
+            stage1 = readout.read_compressed(
+                self.config.pool_k, grayscale=self.config.grayscale_stage1
+            )
         ledger.add_stage1_frame(stage1.data_bytes)
         return stage1
 
@@ -171,7 +226,8 @@ class HiRISEPipeline:
         if self.detector is None:
             raise ValueError("pipeline has no detector; pass rois= explicitly")
         cfg = self.config
-        detections = list(self.detector(stage1_image))
+        with profiled(self.profiler, "detect"):
+            detections = list(self.detector(stage1_image))
         candidates = [
             ROI.from_detection(d, scale=cfg.pool_k)
             for d in detections
@@ -182,16 +238,17 @@ class HiRISEPipeline:
     def condition_rois(self, candidates: Sequence[ROI], width: int, height: int) -> list[ROI]:
         """Apply the selection encoder's conditioning to candidate ROIs."""
         cfg = self.config
-        return prepare_rois(
-            candidates,
-            width,
-            height,
-            pad_fraction=cfg.roi_pad_fraction,
-            min_side_px=cfg.min_roi_px,
-            max_rois=cfg.max_rois,
-            drop_contained=cfg.dedup_contained,
-            merge_iou=cfg.merge_roi_iou,
-        )
+        with profiled(self.profiler, "condition"):
+            return prepare_rois(
+                candidates,
+                width,
+                height,
+                pad_fraction=cfg.roi_pad_fraction,
+                min_side_px=cfg.min_roi_px,
+                max_rois=cfg.max_rois,
+                drop_contained=cfg.dedup_contained,
+                merge_iou=cfg.merge_roi_iou,
+            )
 
     def run_stage2(
         self,
@@ -200,12 +257,17 @@ class HiRISEPipeline:
         ledger: TransferLedger,
         dedup_contained: bool = False,
     ) -> tuple[object, list[object]]:
-        """Stage-2 sensor work + task model: ROI readout, logged, classified."""
-        stage2 = readout.read_rois(conditioned, dedup_contained=dedup_contained)
-        ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
-        predictions: list[object] = []
-        if self.classifier is not None:
-            predictions = [self.classifier(crop) for crop in stage2.images]
+        """Stage-2 sensor work + task model: ROI readout, logged, classified.
+
+        Crops are served to the classifier through :func:`classify_crops`:
+        bucketed by post-resize shape, one forward per bucket.
+        """
+        with profiled(self.profiler, "stage2"):
+            with profiled(self.profiler, "read"):
+                stage2 = readout.read_rois(conditioned, dedup_contained=dedup_contained)
+            ledger.add_stage2_rois(stage2.data_bytes, len(stage2.boxes))
+            with profiled(self.profiler, "classify"):
+                predictions = classify_crops(self.classifier, stage2.images)
         return stage2, predictions
 
     def complete_from_stage1(
@@ -370,6 +432,7 @@ class ConventionalPipeline:
     energy_model: EnergyModel = field(default_factory=EnergyModel)
     noise: NoiseModel | None = None
     link: LinkModel = field(default_factory=LinkModel)
+    profiler: PhaseProfiler | None = None
 
     def run(
         self,
@@ -389,30 +452,35 @@ class ConventionalPipeline:
         Returns:
             :class:`PipelineOutcome`.
         """
-        readout = _build_readout(image, self.adc_bits, self.noise, None, frame_seed)
+        with profiled(self.profiler, "expose"):
+            readout = _build_readout(image, self.adc_bits, self.noise, None, frame_seed)
         array = readout.array
         ledger = TransferLedger(link=self.link)
 
-        full = readout.read_full()
+        with profiled(self.profiler, "stage1"), profiled(self.profiler, "read"):
+            full = readout.read_full()
         ledger.add_stage1_frame(full.data_bytes)
 
         detections: list[object] = []
         if rois is None and self.detector is not None:
-            detections = list(self.detector(full.images))
+            with profiled(self.profiler, "detect"):
+                detections = list(self.detector(full.images))
             candidates = [ROI.from_detection(d) for d in detections]
         else:
             candidates = list(rois or [])
 
-        conditioned = prepare_rois(candidates, array.width, array.height)
-        crops = [
-            np.ascontiguousarray(
-                full.images[r.y : r.y + r.h, r.x : r.x + r.w, :]
-            )
-            for r in conditioned
-        ]
-        predictions: list[object] = []
-        if self.classifier is not None:
-            predictions = [self.classifier(crop) for crop in crops]
+        with profiled(self.profiler, "condition"):
+            conditioned = prepare_rois(candidates, array.width, array.height)
+        with profiled(self.profiler, "stage2"):
+            with profiled(self.profiler, "read"):
+                crops = [
+                    np.ascontiguousarray(
+                        full.images[r.y : r.y + r.h, r.x : r.x + r.w, :]
+                    )
+                    for r in conditioned
+                ]
+            with profiled(self.profiler, "classify"):
+                predictions = classify_crops(self.classifier, crops)
 
         energy = self.energy_model.conventional_frame(array.width, array.height)
         return PipelineOutcome(

@@ -5,6 +5,7 @@ from .classifier.cnn import (
     mobilenetv2_like_classifier,
     tiny_cnn,
 )
+from .classifier.crop import CropClassifier, CropPrediction
 from .classifier.features import (
     CLASSIFIER_PRESETS,
     HOGClassifier,
@@ -30,6 +31,8 @@ __all__ = [
     "CLASSIFIER_PRESETS",
     "ClassTemplate",
     "CorrelationDetector",
+    "CropClassifier",
+    "CropPrediction",
     "Detection",
     "GridDetector",
     "GridDetectorConfig",

@@ -1,10 +1,13 @@
-"""Stage-2 classifiers: HOG + linear (fast) and tiny CNNs (trainable)."""
+"""Stage-2 classifiers: HOG + linear (fast), tiny CNNs, batched crop heads."""
 
 from .cnn import mcunetv2_like_classifier, mobilenetv2_like_classifier, tiny_cnn
+from .crop import CropClassifier, CropPrediction
 from .features import CLASSIFIER_PRESETS, HOGClassifier, SoftmaxRegression, hog_features
 
 __all__ = [
     "CLASSIFIER_PRESETS",
+    "CropClassifier",
+    "CropPrediction",
     "HOGClassifier",
     "SoftmaxRegression",
     "hog_features",

@@ -1,0 +1,130 @@
+"""Batched stage-2 inference over ROI crops.
+
+The pipelines hand the stage-2 task model a list of variable-size ROI
+crops.  Running one batch-size-1 forward per crop wastes the vectorized
+NumPy substrate; :class:`CropClassifier` is the batch-aware contract the
+pipelines understand (duck-typed — see
+:func:`repro.core.pipeline.classify_crops`):
+
+* ``preprocess(crop)`` maps one crop to the model's input layout (here:
+  bilinear resize to a fixed ``input_hw``);
+* ``classify_batch(stack)`` classifies an ``(N, H, W, C)`` stack of
+  preprocessed crops in **one** forward;
+* plain ``__call__(crop)`` remains the per-crop reference path, defined
+  *through* ``classify_batch`` so the two can never disagree.
+
+In float64 (the default compute dtype) batched predictions are
+bit-identical to the per-crop loop; ``set_compute_dtype("float32")`` opts
+the whole network into float32 inference, which tracks float64 within the
+documented tolerances (identical argmax on seeded clips, logit
+``atol``/``rtol`` asserted by tests and ``benchmarks/bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..image import ensure_channels, resize_bilinear
+from ..losses import softmax
+from ..model import Sequential
+
+#: Documented float32-vs-float64 parity tolerances for classifier logits:
+#: float32 logits must satisfy ``allclose(f32, f64, atol, rtol)`` *and*
+#: produce identical argmax on seeded clips (asserted by tests and
+#: ``benchmarks/bench_hotpath.py``).
+FLOAT32_LOGIT_ATOL = 1e-4
+FLOAT32_LOGIT_RTOL = 1e-4
+
+
+@dataclass(frozen=True, eq=False)
+class CropPrediction:
+    """One crop's stage-2 output.
+
+    Attributes:
+        label: predicted class name.
+        index: predicted class index (argmax of ``logits``).
+        score: softmax probability of the predicted class.
+        logits: raw ``(n_classes,)`` network output.
+    """
+
+    label: str
+    index: int
+    score: float
+    logits: np.ndarray = field(repr=False)
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.score:.3f})"
+
+
+class CropClassifier:
+    """A :class:`~repro.ml.model.Sequential` head over resized ROI crops.
+
+    Args:
+        net: the classifier network; must accept ``(N, *input_hw, C)``
+            stacks and produce ``(N, n_classes)`` logits.
+        input_hw: fixed ``(height, width)`` every crop is resized to
+            (bilinear, edge-clamped) before stacking — after this resize
+            all of a frame's crops share one shape, so the pipeline can
+            serve them in a single forward.
+        classes: class names, index-aligned with the logits.
+    """
+
+    def __init__(
+        self,
+        net: Sequential,
+        input_hw: tuple[int, int],
+        classes: Sequence[str],
+    ):
+        oh, ow = int(input_hw[0]), int(input_hw[1])
+        if oh < 1 or ow < 1:
+            raise ValueError(f"input_hw must be positive, got {input_hw!r}")
+        if not classes:
+            raise ValueError("classes must be non-empty")
+        self.net = net
+        self.input_hw = (oh, ow)
+        self.classes = tuple(str(c) for c in classes)
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        return self.net.compute_dtype
+
+    def set_compute_dtype(self, dtype) -> "CropClassifier":
+        """Cast the network to an inference dtype (see ``Layer``)."""
+        self.net.set_compute_dtype(dtype)
+        return self
+
+    def preprocess(self, crop: np.ndarray) -> np.ndarray:
+        """One crop -> the network's fixed ``(H, W, C)`` input layout."""
+        return resize_bilinear(ensure_channels(np.asarray(crop)), self.input_hw)
+
+    def classify_batch(self, stack: np.ndarray) -> list[CropPrediction]:
+        """Classify an ``(N, H, W, C)`` stack of preprocessed crops.
+
+        One network forward for the whole stack; rows are bit-identical
+        to batch-size-1 calls (the inference contract of
+        :meth:`repro.ml.layers.Layer.predict_batch`).
+        """
+        stack = np.asarray(stack)
+        if stack.ndim != 4:
+            raise ValueError(
+                f"expected an (N, H, W, C) stack, got shape {stack.shape}"
+            )
+        logits = self.net.predict_batch(stack)
+        indices = np.argmax(logits, axis=-1)
+        probs = softmax(logits, axis=-1)
+        return [
+            CropPrediction(
+                label=self.classes[int(idx)],
+                index=int(idx),
+                score=float(probs[row, idx]),
+                logits=logits[row].copy(),
+            )
+            for row, idx in enumerate(indices)
+        ]
+
+    def __call__(self, crop: np.ndarray) -> CropPrediction:
+        """Per-crop reference path: a batch of one, through the same code."""
+        return self.classify_batch(self.preprocess(crop)[None, ...])[0]

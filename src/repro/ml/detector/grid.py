@@ -205,27 +205,47 @@ class GridDetector:
     def detect(self, image: np.ndarray) -> list[Detection]:
         """Decode detections for one ``(H, W, 3)`` image."""
         preds = self.net.forward(image[None], training=False)[0]
+        return self.decode(preds)
+
+    def decode(self, preds: np.ndarray) -> list[Detection]:
+        """Turn one raw ``(gh, gw, 5+C)`` head output into detections.
+
+        Fully vectorized over the above-threshold cells (the hot decode
+        loop used to be per-cell Python); the arithmetic is elementwise,
+        so detections are identical to the scalar formulation.
+        """
         obj = sigmoid(preds[..., 0])
         offs = sigmoid(preds[..., 1:3])
         sizes = np.exp(np.clip(preds[..., 3:5], -2.0, 8.0))
         cls_probs = softmax(preds[..., 5:], axis=-1)
 
-        boxes: list[tuple[float, float, float, float]] = []
-        scores: list[float] = []
-        labels: list[str] = []
         ys, xs = np.nonzero(obj >= self.config.score_threshold)
-        for gy, gx in zip(ys, xs):
-            cx = (gx + offs[gy, gx, 0]) * self.STRIDE
-            cy = (gy + offs[gy, gx, 1]) * self.STRIDE
-            w, h = sizes[gy, gx]
-            cls = int(np.argmax(cls_probs[gy, gx]))
-            boxes.append((cx - w / 2.0, cy - h / 2.0, float(w), float(h)))
-            scores.append(float(obj[gy, gx] * cls_probs[gy, gx, cls]))
-            labels.append(self.config.classes[cls])
-        if not boxes:
+        if ys.size == 0:
             return []
-        keep = nms(np.asarray(boxes), np.asarray(scores), self.config.nms_iou)
+        cell_offs = offs[ys, xs]
+        cell_wh = sizes[ys, xs]
+        cell_cls = cls_probs[ys, xs]
+        cx = (xs + cell_offs[:, 0]) * self.STRIDE
+        cy = (ys + cell_offs[:, 1]) * self.STRIDE
+        cls = np.argmax(cell_cls, axis=-1)
+        scores = obj[ys, xs] * cell_cls[np.arange(ys.size), cls]
+        boxes = np.column_stack(
+            [
+                cx - cell_wh[:, 0] / 2.0,
+                cy - cell_wh[:, 1] / 2.0,
+                cell_wh[:, 0],
+                cell_wh[:, 1],
+            ]
+        )
+        keep = nms(boxes, scores, self.config.nms_iou)
         return [
-            Detection(labels[i], scores[i], *boxes[i])
+            Detection(
+                self.config.classes[int(cls[i])],
+                float(scores[i]),
+                float(boxes[i, 0]),
+                float(boxes[i, 1]),
+                float(boxes[i, 2]),
+                float(boxes[i, 3]),
+            )
             for i in keep
         ]

@@ -7,6 +7,8 @@ digital images after readout.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 #: BT.601 luma weights (matches ``repro.sensor.grayscale.LUMA_WEIGHTS``).
@@ -33,8 +35,51 @@ def ensure_channels(image: np.ndarray) -> np.ndarray:
     raise ValueError(f"expected 2-D or 3-D image, got shape {image.shape}")
 
 
+@lru_cache(maxsize=64)
+def _resize_plan(in_hw: tuple[int, int], out_hw: tuple[int, int]):
+    """Interpolation plan for one ``(in_hw, out_hw)`` pair, memoized.
+
+    The serving hot path resizes every ROI crop to the classifier input
+    size, so the same few shape pairs recur thousands of times; the
+    index/weight tables depend only on the shapes, never on the pixels.
+    Cached arrays are marked read-only (they are shared across calls) and
+    the LRU keeps the footprint bounded — each plan is a few kB.
+
+    Returns:
+        ``(y0, y1, x0, x1, fy, fx)`` — row/column source indices already
+        shaped for broadcasting, and the fractional blend weights.
+    """
+    h, w = in_hw
+    oh, ow = out_hw
+    # Align-corners=False sampling (pixel centers), standard for resizing.
+    ys = (np.arange(oh) + 0.5) * h / oh - 0.5
+    xs = (np.arange(ow) + 0.5) * w / ow - 0.5
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    plan = (
+        y0[:, None],
+        y1[:, None],
+        x0[None, :],
+        x1[None, :],
+        (ys - y0)[:, None, None],
+        (xs - x0)[None, :, None],
+    )
+    for table in plan:
+        table.setflags(write=False)
+    return plan
+
+
 def resize_bilinear(image: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
     """Bilinear resize with edge clamping.
+
+    Interpolation index/weight tables are memoized per ``(in_hw, out_hw)``
+    shape pair (:func:`_resize_plan`), which is free on correctness: the
+    plan depends only on the shapes, so outputs are bit-identical to an
+    uncached resize.
 
     Args:
         image: ``(H, W)`` or ``(H, W, C)`` float array.
@@ -53,20 +98,9 @@ def resize_bilinear(image: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
         out = img.copy()
         return out[:, :, 0] if squeeze else out
 
-    # Align-corners=False sampling (pixel centers), standard for resizing.
-    ys = (np.arange(oh) + 0.5) * h / oh - 0.5
-    xs = (np.arange(ow) + 0.5) * w / ow - 0.5
-    ys = np.clip(ys, 0.0, h - 1.0)
-    xs = np.clip(xs, 0.0, w - 1.0)
-    y0 = np.floor(ys).astype(int)
-    x0 = np.floor(xs).astype(int)
-    y1 = np.minimum(y0 + 1, h - 1)
-    x1 = np.minimum(x0 + 1, w - 1)
-    fy = (ys - y0)[:, None, None]
-    fx = (xs - x0)[None, :, None]
-
-    top = img[np.ix_(y0, x0)] * (1 - fx) + img[np.ix_(y0, x1)] * fx
-    bottom = img[np.ix_(y1, x0)] * (1 - fx) + img[np.ix_(y1, x1)] * fx
+    y0, y1, x0, x1, fy, fx = _resize_plan((h, w), (int(oh), int(ow)))
+    top = img[y0, x0] * (1 - fx) + img[y0, x1] * fx
+    bottom = img[y1, x0] * (1 - fx) + img[y1, x1] * fx
     out = top * (1 - fy) + bottom * fy
     return out[:, :, 0] if squeeze else out
 

@@ -6,7 +6,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .layers import Layer, Param
+from .layers import Layer, Param, as_compute_dtype
 
 
 class Sequential(Layer):
@@ -41,6 +41,18 @@ class Sequential(Layer):
     def zero_grad(self) -> None:
         for param in self.params():
             param.zero_grad()
+
+    def set_compute_dtype(self, dtype) -> "Sequential":
+        """Cast every layer to ``dtype`` (see :meth:`Layer.set_compute_dtype`).
+
+        After ``set_compute_dtype("float32")``, :meth:`predict_batch` casts
+        inputs to float32 and every layer's forward preserves it — nothing
+        silently upcasts back to float64.
+        """
+        self.compute_dtype = as_compute_dtype(dtype)
+        for layer in self.layers:
+            layer.set_compute_dtype(self.compute_dtype)
+        return self
 
     # -- (de)serialization ---------------------------------------------------------
 

@@ -25,7 +25,7 @@ from ..datasets.profiles import (
     DatasetProfile,
 )
 from ..datasets.scene import SceneGenerator
-from ..ml import GridDetector, GridDetectorConfig, to_gray
+from ..ml import CropClassifier, GridDetector, GridDetectorConfig, tiny_cnn, to_gray
 from ..stream.reuse import TemporalROIReuse
 from ..stream.source import (
     SyntheticClip,
@@ -161,6 +161,31 @@ def _no_classifier(**params):
     return None
 
 
+class MeanLumaClassifier:
+    """Mean crop luminance in [0, 1], with a vectorized batch path.
+
+    The batch path reduces a whole same-shape stack at once; its row-wise
+    reductions use the same pairwise summation as the per-crop
+    ``np.mean``, so batched results are bit-identical to the loop
+    (test-asserted).
+    """
+
+    def __call__(self, crop: np.ndarray) -> float:
+        return float(np.mean(to_gray(crop)))
+
+    def classify_batch(self, stack: np.ndarray) -> list[float]:
+        stack = np.asarray(stack)
+        if stack.ndim == 4 and stack.shape[-1] == 3:
+            n, h, w, _ = stack.shape
+            gray = to_gray(stack.reshape(n * h, w, 3)).reshape(n, h, w)
+        elif stack.ndim == 4 and stack.shape[-1] == 1:
+            gray = stack[..., 0]
+        else:
+            gray = stack
+        means = gray.reshape(stack.shape[0], -1).mean(axis=1)
+        return [float(v) for v in means]
+
+
 @register_classifier("mean-luma")
 def _mean_luma(**params):
     """Trivial deterministic stage-2 head: mean crop luminance in [0, 1].
@@ -171,11 +196,34 @@ def _mean_luma(**params):
     """
     if params:
         raise ValueError(f"classifier 'mean-luma' takes no params, got {sorted(params)}")
+    return MeanLumaClassifier()
 
-    def classify(crop: np.ndarray) -> float:
-        return float(np.mean(to_gray(crop)))
 
-    return classify
+@register_classifier("tiny-cnn")
+def _tiny_cnn(**params):
+    """Untrained tiny-CNN stage-2 head over resized crops.
+
+    Params: ``input_size`` (square resize side, default 32), ``classes``
+    (label list, default ``["object", "background"]``), ``width`` (base
+    channel count, default 8), ``seed`` (weight init, default 0).
+
+    Deterministic given ``seed`` and exercises the real batched CNN
+    forward — the hot path ``benchmarks/bench_hotpath.py`` measures.  The
+    engine applies the system spec's ``compute_dtype`` after construction.
+    Train-and-freeze flows should build their own
+    :class:`~repro.ml.CropClassifier` and register it under a new name.
+    """
+    input_size = int(params.pop("input_size", 32))
+    width = int(params.pop("width", 8))
+    seed = int(params.pop("seed", 0))
+    classes = [str(c) for c in params.pop("classes", ("object", "background"))]
+    if params:
+        raise ValueError(
+            f"unknown tiny-cnn param(s) {sorted(params)}; "
+            "valid: input_size, classes, width, seed"
+        )
+    net = tiny_cnn(input_size, len(classes), width=width, seed=seed)
+    return CropClassifier(net, (input_size, input_size), classes)
 
 
 # -- reuse policies ----------------------------------------------------------------

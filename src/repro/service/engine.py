@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
+from ..core.profiling import PhaseProfile, PhaseProfiler
 from ..stream.ledger import StreamOutcome
 from ..stream.runner import StreamRunner
 from . import components as _components  # noqa: F401  (populates registries)
@@ -51,17 +52,29 @@ from .spec import (
 
 @dataclass(frozen=True)
 class RunResult:
-    """One served request: the scenario that asked and the ledger it got."""
+    """One served request: the scenario that asked and the ledger it got.
+
+    Attributes:
+        scenario: the request.
+        outcome: its stream ledger.
+        profile: per-phase wall-clock breakdown, present only when the
+            engine ran with ``profile=True`` (profiled requests always
+            recompute — a memoized result has no phases to measure).
+    """
 
     scenario: ScenarioSpec
     outcome: StreamOutcome
+    profile: PhaseProfile | None = None
 
     @property
     def label(self) -> str:
         return self.scenario.label
 
     def report(self) -> str:
-        return f"--- {self.label} ---\n{self.outcome.report()}"
+        text = f"--- {self.label} ---\n{self.outcome.report()}"
+        if self.profile is not None:
+            text += f"\n  phase breakdown:\n{self.profile.report()}"
+        return text
 
 
 @dataclass
@@ -80,6 +93,8 @@ class BatchResult:
         cache: the engine cache's hit/miss/eviction *delta* over this
             batch (clip and result tiers), including work done inside
             process-executor workers.
+        profile: the merged per-phase breakdown of every profiled result
+            (``None`` unless the engine ran with ``profile=True``).
     """
 
     results: list[RunResult] = field(default_factory=list)
@@ -87,6 +102,7 @@ class BatchResult:
     executor: str = "serial"
     wall_time_s: float = 0.0
     cache: CacheStats | None = None
+    profile: PhaseProfile | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -150,6 +166,9 @@ class BatchResult:
         ]
         if self.cache is not None:
             lines.append(f"  cache: {self.cache.describe()}")
+        if self.profile is not None:
+            lines.append("  phase breakdown (all requests):")
+            lines.append(self.profile.report())
         if self.wall_time_s > 0:
             lines.append(
                 f"  throughput: {self.frames_per_second:.1f} frames/s "
@@ -180,6 +199,11 @@ class Engine:
         cache: the clip/result cache (pass
             :meth:`EngineCache.disabled() <repro.service.EngineCache.disabled>`
             for measurement runs that must recompute everything).
+        profile: when true, every served request carries a
+            :class:`~repro.core.PhaseProfile` on ``RunResult.profile``
+            (and the merged breakdown on ``BatchResult.profile``).
+            Profiled requests bypass the result-memo tier — profiling
+            measures real work, and a cache hit has no phases.
     """
 
     def __init__(
@@ -189,6 +213,7 @@ class Engine:
         workers: int = 1,
         executor: str = "thread",
         cache: EngineCache | None = None,
+        profile: bool = False,
     ):
         self.spec = spec if spec is not None else SystemSpec()
         self.scenarios = tuple(scenarios)
@@ -200,6 +225,7 @@ class Engine:
             )
         self.executor = executor
         self.cache = cache if cache is not None else EngineCache()
+        self.profile = profile
         # The system never changes over the engine's lifetime: hash it once
         # so per-request keys only hash the scenario.
         self._system_key = spec_fingerprint(self.spec.to_dict())
@@ -264,6 +290,11 @@ class Engine:
             raise SpecError(
                 f"system.classifier {spec.classifier.name!r}: {exc}"
             ) from exc
+        # The spec's compute dtype is a *system* property: thread it into
+        # any classifier that understands dtype casting (float64 is the
+        # default, so plain callables are always float64-exact).
+        if classifier is not None and hasattr(classifier, "set_compute_dtype"):
+            classifier.set_compute_dtype(spec.compute_dtype)
 
         if spec.system == "conventional":
             pipeline = ConventionalPipeline(
@@ -321,10 +352,18 @@ class Engine:
                 lambda: self._build_clip(scenario),
             )
         runner, on_frame = self._build_runner(scenario, clip)
+        profiler = None
+        if self.profile:
+            profiler = PhaseProfiler()
+            runner.pipeline.profiler = profiler
         outcome = runner.run(
             clip.frames, frame_seeds=scenario.frame_seeds, on_frame=on_frame
         )
-        return RunResult(scenario=scenario, outcome=outcome)
+        return RunResult(
+            scenario=scenario,
+            outcome=outcome,
+            profile=None if profiler is None else profiler.snapshot(),
+        )
 
     def run(self, request, clip=None) -> RunResult:
         """Serve one request, through the result cache.
@@ -337,11 +376,16 @@ class Engine:
         Returns:
             :class:`RunResult` with the request's stream ledger.  A
             repeat of an already-served ``(system, scenario)`` spec is
-            answered from the cache, bit-identical to a fresh run.
+            answered from the cache, bit-identical to a fresh run —
+            unless the engine is profiling, which always recomputes (a
+            memoized result has no phases to measure) and leaves the
+            result tier untouched.
         """
         scenario = self._as_scenario(request)
         if clip is not None:
             return self._serve(scenario, clip)
+        if self.profile:
+            return self._serve(scenario)
         return self.cache.results.get_or_build(
             self.result_key_for(scenario), lambda: self._serve(scenario)
         )
@@ -394,10 +438,12 @@ class Engine:
             if owned:
                 pool.close()
         wall = time.perf_counter() - start
+        profiles = [r.profile for r in results if r.profile is not None]
         return BatchResult(
             results=results,
             workers=pool.workers,
             executor=pool.name,
             wall_time_s=wall,
             cache=self.cache.stats() - before,
+            profile=PhaseProfile.merge(profiles) if profiles else None,
         )

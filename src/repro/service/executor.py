@@ -160,15 +160,18 @@ def _run_chunk(
     system: "SystemSpec",
     items: list[tuple[int, "ScenarioSpec"]],
     cache_capacities: tuple[int, int],
+    profile: bool = False,
 ):
     """Worker entry point: serve one chunk against a per-process engine.
 
     Module-level (picklable by reference) and lazy-importing, as the
     spawn start method requires.  The worker engine mirrors the parent's
     cache capacities — a parent that disabled caching gets a worker that
-    really recomputes.  Returns the indexed results plus the chunk's
-    clip-tier stats delta, so the parent's accounting covers work done
-    here.
+    really recomputes — and the parent's ``profile`` flag, so profiled
+    batches come back with phase breakdowns (profiles are plain data and
+    pickle with the results).  Returns the indexed results plus the
+    chunk's clip-tier stats delta, so the parent's accounting covers work
+    done here.
     """
     from .cache import EngineCache, spec_fingerprint
     from .engine import Engine
@@ -186,6 +189,7 @@ def _run_chunk(
     _WORKER_ENGINES.move_to_end(key)
     while len(_WORKER_ENGINES) > _WORKER_ENGINE_LIMIT:
         _WORKER_ENGINES.popitem(last=False)
+    engine.profile = profile
     before = engine.cache.clips.stats.snapshot()
     results = [(index, engine.run(scenario)) for index, scenario in items]
     return results, engine.cache.clips.stats - before
@@ -226,7 +230,9 @@ class ProcessExecutor(Executor):
         # in-process executors).  With the result tier disabled, nothing
         # may be deduplicated either — a disabled cache means "recompute
         # everything", exactly like serial/thread.
-        memoize = engine.cache.results.capacity > 0
+        # Profiled runs never memoize (the engine's own contract): every
+        # request must really run so its phase breakdown exists.
+        memoize = engine.cache.results.capacity > 0 and not engine.profile
         keys = [engine.result_key_for(s) if memoize else None for s in scenarios]
         pending: dict[object, list[int]] = {}
         for index, scenario in enumerate(scenarios):
@@ -235,6 +241,12 @@ class ProcessExecutor(Executor):
             if duplicates is not None:
                 engine.cache.results.record_shared_hit()
                 duplicates.append(index)
+                continue
+            if engine.profile:
+                # Profiled requests leave the result tier untouched (the
+                # engine contract): no lookup, no phantom miss accounting —
+                # BatchResult.cache must not depend on the executor.
+                pending[key] = [index]
                 continue
             hit, value = engine.cache.results.peek(keys[index])
             if hit:
@@ -250,7 +262,9 @@ class ProcessExecutor(Executor):
             )
             pool = self._ensure_pool()
             futures = [
-                pool.submit(_run_chunk, engine.spec, chunk, capacities)
+                pool.submit(
+                    _run_chunk, engine.spec, chunk, capacities, engine.profile
+                )
                 for chunk in _chunk_by_clip(unique, self.workers)
             ]
             for future in futures:

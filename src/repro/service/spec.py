@@ -116,6 +116,12 @@ class SystemSpec:
         noise: sensor noise model; ``None`` = ideal sensor.  With noise
             enabled, per-frame temporal noise is drawn from the scenario's
             frame seeds — the knob that makes seeds observable.
+        compute_dtype: stage-2 inference dtype, "float64" (default, the
+            bit-exact reference) or "float32" (faster/smaller; logits
+            track float64 within documented tolerances, argmax parity on
+            seeded clips).  Applied by the engine to classifiers exposing
+            ``set_compute_dtype``; stage-1 detection always runs float64
+            so ROI selection is identical across modes.
     """
 
     system: str = "hirise"
@@ -123,12 +129,18 @@ class SystemSpec:
     detector: ComponentRef = _component_field("ground-truth")
     classifier: ComponentRef = _component_field("none")
     noise: NoiseModel | None = None
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.system not in ("hirise", "conventional"):
             raise SpecError(
                 f"system.system: expected 'hirise' or 'conventional', "
                 f"got {self.system!r}"
+            )
+        if self.compute_dtype not in ("float32", "float64"):
+            raise SpecError(
+                f"system.compute_dtype: expected 'float32' or 'float64', "
+                f"got {self.compute_dtype!r}"
             )
 
     def to_dict(self) -> dict:
@@ -138,17 +150,24 @@ class SystemSpec:
             "detector": self.detector.to_dict(),
             "classifier": self.classifier.to_dict(),
             "noise": None if self.noise is None else dataclasses.asdict(self.noise),
+            "compute_dtype": self.compute_dtype,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SystemSpec":
         _require(data, "system", dict, "dict")
         _reject_unknown(
-            data, {"system", "config", "detector", "classifier", "noise"}, "system"
+            data,
+            {"system", "config", "detector", "classifier", "noise", "compute_dtype"},
+            "system",
         )
         kwargs = {}
         if "system" in data:
             kwargs["system"] = _require(data["system"], "system.system", str, "str")
+        if "compute_dtype" in data:
+            kwargs["compute_dtype"] = _require(
+                data["compute_dtype"], "system.compute_dtype", str, "str"
+            )
         if "config" in data:
             config = data["config"]
             _require(config, "system.config", dict, "dict")

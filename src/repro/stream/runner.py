@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
+from ..core.profiling import profiled
 from ..sensor import BatchSensorReadout
 from ..transfer import TransferLedger
 from .ledger import FrameStats, StreamOutcome
@@ -202,16 +203,22 @@ class StreamRunner:
         def flush() -> None:
             if not chunk:
                 return
-            batch = BatchSensorReadout.from_images(
-                [frame for _, _, frame in chunk],
-                adc_bits=cfg.adc_bits,
-                noise=pipeline.noise,
-                pooling=pipeline.pooling_model,
-                frame_seeds=[seed for _, seed, _ in chunk],
-            )
-            stage1_results = batch.read_compressed(
-                cfg.pool_k, grayscale=cfg.grayscale_stage1
-            )
+            # Same phase taxonomy as the per-frame path; chunked sensor
+            # work counts one profiler span per flush, not per frame.
+            with profiled(pipeline.profiler, "expose"):
+                batch = BatchSensorReadout.from_images(
+                    [frame for _, _, frame in chunk],
+                    adc_bits=cfg.adc_bits,
+                    noise=pipeline.noise,
+                    pooling=pipeline.pooling_model,
+                    frame_seeds=[seed for _, seed, _ in chunk],
+                )
+            with profiled(pipeline.profiler, "stage1"), profiled(
+                pipeline.profiler, "read"
+            ):
+                stage1_results = batch.read_compressed(
+                    cfg.pool_k, grayscale=cfg.grayscale_stage1
+                )
             for (idx, _, _), readout, stage1 in zip(
                 chunk, batch.readouts, stage1_results
             ):

@@ -1,0 +1,211 @@
+"""Hot-path tests: batched stage-2 classification and pipeline profiling.
+
+The serving contract under test (see ``docs/architecture.md``, "Hot path
+& profiling"): bucketing a frame's crops by post-resize shape and running
+one forward per bucket changes *execution*, never *results* — in float64
+compute mode predictions are bit-identical to the per-crop loop — and
+every pipeline phase is observable through an attached profiler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConventionalPipeline,
+    HiRISEConfig,
+    HiRISEPipeline,
+    PhaseProfiler,
+    ROI,
+    classify_crops,
+)
+from repro.ml import CropClassifier, CropPrediction, tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def classifier() -> CropClassifier:
+    return CropClassifier(tiny_cnn(16, 3, seed=5), (16, 16), ("a", "b", "c"))
+
+
+@pytest.fixture(scope="module")
+def crops() -> list:
+    rng = np.random.default_rng(8)
+    # Duplicate shapes on purpose: they must share one bucket.
+    sizes = [(12, 18), (25, 9), (12, 18), (40, 40), (12, 18), (9, 25)]
+    return [rng.random((h, w, 3)) for h, w in sizes]
+
+
+def assert_predictions_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        if isinstance(a, CropPrediction):
+            assert a.label == b.label and a.index == b.index
+            assert np.array_equal(a.logits, b.logits)
+        else:
+            assert a == b
+
+
+class TestClassifyCrops:
+    def test_none_classifier_or_no_crops(self, classifier, crops):
+        assert classify_crops(None, crops) == []
+        assert classify_crops(classifier, []) == []
+
+    def test_plain_callable_keeps_per_crop_loop(self, crops):
+        calls = []
+
+        def classify(crop):
+            calls.append(crop.shape)
+            return float(crop.mean())
+
+        out = classify_crops(classify, crops)
+        assert out == [float(c.mean()) for c in crops]
+        assert len(calls) == len(crops)
+
+    def test_batched_bit_identical_to_per_crop_loop(self, classifier, crops):
+        batched = classify_crops(classifier, crops)
+        looped = [classifier(crop) for crop in crops]
+        assert_predictions_equal(batched, looped)
+
+    def test_results_keep_crop_order(self, crops):
+        class ShapeEcho:
+            def classify_batch(self, stack):
+                return [tuple(img.shape) for img in stack]
+
+        out = classify_crops(ShapeEcho(), crops)
+        assert out == [c.shape for c in crops]
+
+    def test_one_forward_per_shape_bucket(self, crops):
+        stacks = []
+
+        class CountingEcho:
+            def classify_batch(self, stack):
+                stacks.append(stack.shape)
+                return [0.0] * len(stack)
+
+        classify_crops(CountingEcho(), crops)
+        distinct_shapes = {c.shape for c in crops}
+        assert len(stacks) == len(distinct_shapes)
+        assert sum(shape[0] for shape in stacks) == len(crops)
+
+    def test_preprocess_merges_buckets(self, classifier, crops):
+        # CropClassifier resizes everything to one shape: a single bucket.
+        stacks = []
+        original = classifier.net.predict_batch
+
+        def spy(stack):
+            stacks.append(stack.shape)
+            return original(stack)
+
+        classifier.net.predict_batch = spy
+        try:
+            classify_crops(classifier, crops)
+        finally:
+            del classifier.net.predict_batch
+        assert stacks == [(len(crops), 16, 16, 3)]
+
+    def test_wrong_batch_length_raises(self, crops):
+        class Broken:
+            def classify_batch(self, stack):
+                return [0.0]  # always one prediction
+
+        with pytest.raises(ValueError, match="classify_batch returned"):
+            classify_crops(Broken(), [crops[0], crops[0]])
+
+
+@pytest.fixture(scope="module")
+def head_rois(small_scene):
+    return [
+        ROI(int(b.x), int(b.y), max(int(b.w), 8), max(int(b.h), 8), 0.9, "head")
+        for b in small_scene.boxes_for("head")
+    ]
+
+
+class TestPipelineBatchedStage2:
+    def test_hirise_predictions_match_per_crop_reference(
+        self, small_scene, head_rois, classifier
+    ):
+        pipeline = HiRISEPipeline(
+            classifier=classifier, config=HiRISEConfig(pool_k=4)
+        )
+        outcome = pipeline.run(small_scene.image, rois=head_rois)
+        assert outcome.predictions
+        assert_predictions_equal(
+            outcome.predictions, [classifier(c) for c in outcome.roi_crops]
+        )
+
+    def test_run_stage2_only_predictions_match(self, small_scene, head_rois, classifier):
+        pipeline = HiRISEPipeline(
+            classifier=classifier, config=HiRISEConfig(pool_k=4)
+        )
+        outcome = pipeline.run_stage2_only(small_scene.image, head_rois)
+        assert outcome.predictions
+        assert_predictions_equal(
+            outcome.predictions, [classifier(c) for c in outcome.roi_crops]
+        )
+
+    def test_conventional_predictions_match(self, small_scene, head_rois, classifier):
+        pipeline = ConventionalPipeline(classifier=classifier)
+        outcome = pipeline.run(small_scene.image, rois=head_rois)
+        assert outcome.predictions
+        assert_predictions_equal(
+            outcome.predictions, [classifier(c) for c in outcome.roi_crops]
+        )
+
+    def test_eq2_memory_accounting_unchanged_by_batching(
+        self, small_scene, head_rois, classifier
+    ):
+        # Eq. 2 keeps per-crop semantics: peak memory is bounded by the
+        # largest single crop, not the batched classifier stack.
+        config = HiRISEConfig(pool_k=4)
+        with_clf = HiRISEPipeline(classifier=classifier, config=config)
+        without = HiRISEPipeline(config=config)
+        a = with_clf.run(small_scene.image, rois=head_rois)
+        b = without.run(small_scene.image, rois=head_rois)
+        assert a.peak_image_memory_bytes == b.peak_image_memory_bytes
+
+
+class TestPipelineProfiling:
+    def test_hirise_phase_taxonomy(self, small_scene, head_rois, classifier):
+        profiler = PhaseProfiler()
+        pipeline = HiRISEPipeline(
+            classifier=classifier, config=HiRISEConfig(pool_k=4), profiler=profiler
+        )
+        pipeline.run(small_scene.image, rois=head_rois)
+        profile = profiler.snapshot()
+        for path in ("expose", "stage1", "stage1.read", "condition",
+                     "stage2", "stage2.read", "stage2.classify"):
+            assert profile.get(path) is not None, path
+        assert profile.get("stage1.read").calls == 1
+
+    def test_run_stage2_only_skips_stage1_phase(self, small_scene, head_rois):
+        profiler = PhaseProfiler()
+        pipeline = HiRISEPipeline(
+            config=HiRISEConfig(pool_k=4), profiler=profiler
+        )
+        pipeline.run_stage2_only(small_scene.image, head_rois)
+        profile = profiler.snapshot()
+        assert profile.get("stage1.read") is None
+        assert profile.get("stage2.read") is not None
+
+    def test_conventional_phase_taxonomy(self, small_scene, head_rois, classifier):
+        profiler = PhaseProfiler()
+        pipeline = ConventionalPipeline(classifier=classifier, profiler=profiler)
+        pipeline.run(small_scene.image, rois=head_rois)
+        profile = profiler.snapshot()
+        for path in ("expose", "stage1.read", "condition",
+                     "stage2.read", "stage2.classify"):
+            assert profile.get(path) is not None, path
+
+    def test_profiler_accumulates_across_frames(self, small_scene, head_rois):
+        profiler = PhaseProfiler()
+        pipeline = HiRISEPipeline(
+            config=HiRISEConfig(pool_k=4), profiler=profiler
+        )
+        pipeline.run(small_scene.image, rois=head_rois)
+        pipeline.run(small_scene.image, rois=head_rois)
+        assert profiler.snapshot().get("stage1.read").calls == 2
+
+    def test_no_profiler_no_phases(self, small_scene, head_rois):
+        pipeline = HiRISEPipeline(config=HiRISEConfig(pool_k=4))
+        outcome = pipeline.run(small_scene.image, rois=head_rois)
+        assert pipeline.profiler is None
+        assert outcome.rois

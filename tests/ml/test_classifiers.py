@@ -131,3 +131,81 @@ class TestTinyCNN:
                        batch_size=6, seed=0)
         preds = predict_classifier(net, x)
         assert np.mean(preds == y) > 0.9
+
+
+class TestCropClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        from repro.ml import CropClassifier
+
+        return CropClassifier(tiny_cnn(16, 3, seed=2), (16, 16), ("a", "b", "c"))
+
+    @pytest.fixture(scope="class")
+    def crops(self):
+        rng = np.random.default_rng(5)
+        return [rng.random((h, w, 3)) for h, w in [(10, 14), (30, 22), (16, 16)]]
+
+    def test_validation(self):
+        from repro.ml import CropClassifier
+
+        net = tiny_cnn(16, 2, seed=0)
+        with pytest.raises(ValueError, match="input_hw"):
+            CropClassifier(net, (0, 16), ("a", "b"))
+        with pytest.raises(ValueError, match="classes"):
+            CropClassifier(net, (16, 16), ())
+
+    def test_call_returns_prediction(self, classifier, crops):
+        pred = classifier(crops[0])
+        assert pred.label in ("a", "b", "c")
+        assert pred.index == int(np.argmax(pred.logits))
+        assert 0.0 < pred.score <= 1.0
+        assert pred.logits.shape == (3,)
+
+    def test_preprocess_resizes_and_adds_channels(self, classifier):
+        out = classifier.preprocess(np.ones((7, 9)))
+        assert out.shape == (16, 16, 1) or out.shape == (16, 16)
+        out = classifier.preprocess(np.ones((40, 3, 3)))
+        assert out.shape == (16, 16, 3)
+
+    def test_call_equals_batch_of_one(self, classifier, crops):
+        for crop in crops:
+            single = classifier(crop)
+            batch = classifier.classify_batch(classifier.preprocess(crop)[None])[0]
+            assert single.label == batch.label
+            assert np.array_equal(single.logits, batch.logits)
+
+    def test_classify_batch_rejects_non_stack(self, classifier):
+        with pytest.raises(ValueError, match=r"\(N, H, W, C\)"):
+            classifier.classify_batch(np.ones((16, 16, 3)))
+
+    def test_batched_rows_bit_identical_to_singles(self, classifier, crops):
+        stack = np.stack([classifier.preprocess(c) for c in crops])
+        batched = classifier.classify_batch(stack)
+        for row, crop in enumerate(crops):
+            single = classifier(crop)
+            assert np.array_equal(batched[row].logits, single.logits)
+
+    def test_float32_parity(self, crops):
+        from repro.ml import CropClassifier
+        from repro.ml.classifier.crop import (
+            FLOAT32_LOGIT_ATOL,
+            FLOAT32_LOGIT_RTOL,
+        )
+
+        f64 = CropClassifier(tiny_cnn(16, 3, seed=2), (16, 16), ("a", "b", "c"))
+        f32 = CropClassifier(
+            tiny_cnn(16, 3, seed=2), (16, 16), ("a", "b", "c")
+        ).set_compute_dtype("float32")
+        assert f32.compute_dtype == np.float32
+        for crop in crops:
+            a, b = f64(crop), f32(crop)
+            assert b.logits.dtype == np.float32
+            assert a.index == b.index
+            assert np.allclose(
+                b.logits, a.logits,
+                atol=FLOAT32_LOGIT_ATOL, rtol=FLOAT32_LOGIT_RTOL,
+            )
+
+    def test_prediction_str(self, classifier, crops):
+        text = str(classifier(crops[0]))
+        assert classifier(crops[0]).label in text

@@ -94,3 +94,76 @@ class TestCropPadded:
     def test_rejects_bad_size(self):
         with pytest.raises(ValueError):
             crop_padded(np.ones((4, 4)), 0, 0, 0, 3)
+
+
+def _reference_resize(image, out_hw):
+    """The pre-cache resize implementation, kept as a bit-exact oracle."""
+    oh, ow = out_hw
+    squeeze = image.ndim == 2
+    img = ensure_channels(np.asarray(image, dtype=np.float64))
+    h, w, _ = img.shape
+    if (h, w) == (oh, ow):
+        out = img.copy()
+        return out[:, :, 0] if squeeze else out
+    ys = (np.arange(oh) + 0.5) * h / oh - 0.5
+    xs = (np.arange(ow) + 0.5) * w / ow - 0.5
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    fy = (ys - y0)[:, None, None]
+    fx = (xs - x0)[None, :, None]
+    top = img[np.ix_(y0, x0)] * (1 - fx) + img[np.ix_(y0, x1)] * fx
+    bottom = img[np.ix_(y1, x0)] * (1 - fx) + img[np.ix_(y1, x1)] * fx
+    out = top * (1 - fy) + bottom * fy
+    return out[:, :, 0] if squeeze else out
+
+
+class TestResizePlanCache:
+    def test_bit_identical_to_uncached_reference(self):
+        from repro.ml.image import _resize_plan
+
+        rng = np.random.default_rng(11)
+        _resize_plan.cache_clear()
+        cases = [((13, 21), (32, 32)), ((64, 48), (7, 9)),
+                 ((5, 5), (20, 3)), ((40, 40), (40, 41))]
+        for in_hw, out_hw in cases:
+            img = rng.random((*in_hw, 3))
+            expected = _reference_resize(img, out_hw)
+            # Twice: a cold plan and a cached plan must both match.
+            assert np.array_equal(resize_bilinear(img, out_hw), expected)
+            assert np.array_equal(resize_bilinear(img, out_hw), expected)
+
+    def test_repeated_shapes_hit_the_cache(self):
+        from repro.ml.image import _resize_plan
+
+        _resize_plan.cache_clear()
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            resize_bilinear(rng.random((17, 23, 3)), (8, 8))
+        info = _resize_plan.cache_info()
+        assert info.misses == 1
+        assert info.hits == 4
+
+    def test_cached_plan_is_read_only(self):
+        from repro.ml.image import _resize_plan
+
+        plan = _resize_plan((10, 10), (4, 4))
+        for table in plan:
+            with pytest.raises(ValueError):
+                table[...] = 0
+
+    def test_output_is_writable_and_fresh(self):
+        img = np.ones((6, 6, 3))
+        out = resize_bilinear(img, (3, 3))
+        out[...] = -1.0  # mutating one output must not poison the next
+        again = resize_bilinear(img, (3, 3))
+        assert np.all(again == 1.0)
+
+    def test_same_size_still_copies(self):
+        img = np.ones((4, 4, 3))
+        out = resize_bilinear(img, (4, 4))
+        out[...] = 0.0
+        assert np.all(img == 1.0)

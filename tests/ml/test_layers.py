@@ -223,3 +223,89 @@ class TestBatchNorm:
         analytic = bn.backward(np.ones_like(out))
         numeric = numeric_grad(loss, x)
         assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestComputeDtype:
+    LAYER_FACTORIES = (
+        lambda: Conv2D(3, 4, kernel=3),
+        lambda: DepthwiseConv2D(3),
+        lambda: BatchNorm(3),
+        lambda: ReLU(),
+        lambda: relu6(),
+        lambda: MaxPool2D(2),
+        lambda: GlobalAvgPool(),
+        lambda: Flatten(),
+    )
+
+    def test_default_is_float64(self):
+        layer = Conv2D(3, 4)
+        assert layer.compute_dtype == np.float64
+        assert layer.w.value.dtype == np.float64
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="float32.*float64|float64.*float32"):
+            Conv2D(3, 4).set_compute_dtype("int32")
+
+    @pytest.mark.parametrize("factory", LAYER_FACTORIES)
+    def test_float32_forward_never_upcasts(self, factory, rng):
+        layer = factory().set_compute_dtype("float32")
+        x = rng.random((2, 8, 8, 3)).astype(np.float32)
+        out = layer.forward(x, training=False)
+        assert out.dtype == np.float32, type(layer).__name__
+        for param in layer.params():
+            assert param.value.dtype == np.float32
+            assert param.grad.dtype == np.float32
+
+    def test_dense_float32(self, rng):
+        dense = Dense(6, 3).set_compute_dtype("float32")
+        out = dense.forward(rng.random((4, 6)).astype(np.float32), training=False)
+        assert out.dtype == np.float32
+
+    def test_batchnorm_running_stats_cast(self):
+        bn = BatchNorm(3).set_compute_dtype("float32")
+        assert bn.running_mean.dtype == np.float32
+        assert bn.running_var.dtype == np.float32
+
+    def test_predict_batch_casts_input(self, rng):
+        dense = Dense(6, 3).set_compute_dtype("float32")
+        out = dense.predict_batch(rng.random((4, 6)))  # float64 in
+        assert out.dtype == np.float32
+
+    def test_cast_back_to_float64(self, rng):
+        dense = Dense(6, 3)
+        w64 = dense.w.value.copy()
+        dense.set_compute_dtype("float32").set_compute_dtype("float64")
+        assert dense.w.value.dtype == np.float64
+        # Round-tripping through float32 is lossy but close.
+        assert np.allclose(dense.w.value, w64, atol=1e-6)
+
+
+class TestBatchedInferenceBitIdentity:
+    def test_dense_rows_independent_of_batch_size(self, rng):
+        dense = Dense(32, 5)
+        x = rng.random((8, 32))
+        batched = dense.forward(x, training=False)
+        looped = np.concatenate(
+            [dense.forward(x[i : i + 1], training=False) for i in range(8)]
+        )
+        assert np.array_equal(batched, looped)
+
+    def test_conv_rows_independent_of_batch_size(self, rng):
+        conv = Conv2D(3, 4, kernel=3)
+        x = rng.random((6, 10, 10, 3))
+        batched = conv.forward(x, training=False)
+        looped = np.concatenate(
+            [conv.forward(x[i : i + 1], training=False) for i in range(6)]
+        )
+        assert np.array_equal(batched, looped)
+
+    def test_dense_training_and_inference_stay_close(self, rng):
+        # Training keeps the BLAS matmul; inference uses the fixed-order
+        # reduction.  They may differ in the last ulps, never more.
+        dense = Dense(32, 5)
+        x = rng.random((8, 32))
+        assert np.allclose(
+            dense.forward(x, training=True),
+            dense.forward(x, training=False),
+            rtol=1e-12, atol=1e-12,
+        )

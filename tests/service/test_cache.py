@@ -287,3 +287,42 @@ class TestEngineCaching:
         b = engine.run(request)
         assert a is not b  # never memoized
         assert a.outcome.frames == fresh.outcome.frames
+
+
+class TestComputeDtypeKeys:
+    """A float32 result must never be served for a float64 request."""
+
+    def test_system_fingerprint_folds_compute_dtype(self):
+        f64 = SystemSpec(config=SYSTEM.config, detector=SYSTEM.detector)
+        f32 = SystemSpec(
+            config=SYSTEM.config, detector=SYSTEM.detector, compute_dtype="float32"
+        )
+        assert spec_fingerprint(f64.to_dict()) != spec_fingerprint(f32.to_dict())
+
+    def test_result_keys_differ_by_dtype(self):
+        request = scenario()
+        f64 = SystemSpec(config=SYSTEM.config, detector=SYSTEM.detector)
+        f32 = SystemSpec(
+            config=SYSTEM.config, detector=SYSTEM.detector, compute_dtype="float32"
+        )
+        key64 = result_key(f64, request)
+        key32 = result_key(f32, request)
+        assert key64 is not None and key32 is not None
+        assert key64 != key32
+
+    def test_engine_result_keys_differ_by_dtype(self):
+        request = scenario()
+        e64 = Engine(SystemSpec(config=SYSTEM.config, detector=SYSTEM.detector))
+        e32 = Engine(
+            SystemSpec(
+                config=SYSTEM.config,
+                detector=SYSTEM.detector,
+                compute_dtype="float32",
+            )
+        )
+        assert e64.result_key_for(request) != e32.result_key_for(request)
+
+    def test_clip_key_ignores_dtype(self):
+        # The rendered pixels don't depend on the compute dtype: the clip
+        # tier may (and should) share across dtype modes.
+        assert clip_key(scenario()) == clip_key(scenario())

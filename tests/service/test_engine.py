@@ -303,3 +303,151 @@ class TestBatch:
         batch = engine.run_batch(requests, workers=1)
         same_a, _, different = batch
         assert same_a.outcome.frames != different.outcome.frames
+
+
+class TestBatchedStage2Serving:
+    SPEC = SystemSpec(
+        config=HiRISEConfig(pool_k=4, roi_pad_fraction=0.05, max_rois=8),
+        detector=ComponentRef("ground-truth", {"label": "person"}),
+        classifier=ComponentRef("tiny-cnn", {"input_size": 16}),
+    )
+
+    @staticmethod
+    def _predictions(result):
+        return [
+            p for o in result.outcome.outcomes for p in o.predictions
+        ]
+
+    def test_served_predictions_match_per_crop_reference(self):
+        from repro.ml import CropClassifier, tiny_cnn
+
+        engine = Engine(self.SPEC)
+        result = engine.run(scenario(keep_outcomes=True))
+        reference = CropClassifier(
+            tiny_cnn(16, 2, seed=0), (16, 16), ("object", "background")
+        )
+        served = self._predictions(result)
+        assert served
+        for outcome in result.outcome.outcomes:
+            for crop, prediction in zip(outcome.roi_crops, outcome.predictions):
+                expected = reference(crop)
+                assert prediction.label == expected.label
+                assert np.array_equal(prediction.logits, expected.logits)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_executors_bit_identical_predictions(self, executor):
+        from repro.service import EngineCache
+
+        requests = [scenario(keep_outcomes=True, n_frames=2),
+                    scenario(keep_outcomes=True, n_frames=2, seed=9)]
+        reference = Engine(self.SPEC, cache=EngineCache.disabled())
+        sequential = [reference.run(r) for r in requests]
+
+        engine = Engine(self.SPEC, cache=EngineCache.disabled())
+        batch = engine.run_batch(requests, workers=2, executor=executor)
+        for seq, got in zip(sequential, batch):
+            a, b = self._predictions(seq), self._predictions(got)
+            assert len(a) == len(b) and a
+            for x, y in zip(a, b):
+                assert x.label == y.label
+                assert np.array_equal(x.logits, y.logits)
+
+    def test_stream_reuse_path_matches_per_crop_reference(self):
+        from repro.ml import CropClassifier, tiny_cnn
+
+        engine = Engine(self.SPEC)
+        result = engine.run(
+            scenario(
+                keep_outcomes=True,
+                policy=ComponentRef("temporal-reuse", {"max_reuse": 3}),
+            )
+        )
+        assert result.outcome.reused_frames > 0
+        reference = CropClassifier(
+            tiny_cnn(16, 2, seed=0), (16, 16), ("object", "background")
+        )
+        for outcome in result.outcome.outcomes:
+            for crop, prediction in zip(outcome.roi_crops, outcome.predictions):
+                expected = reference(crop)
+                assert prediction.label == expected.label
+                assert np.array_equal(prediction.logits, expected.logits)
+
+    def test_float32_mode_argmax_parity(self):
+        f64 = Engine(self.SPEC)
+        f32 = Engine(
+            SystemSpec(
+                config=self.SPEC.config,
+                detector=self.SPEC.detector,
+                classifier=self.SPEC.classifier,
+                compute_dtype="float32",
+            )
+        )
+        request = scenario(keep_outcomes=True)
+        a = self._predictions(f64.run(request))
+        b = self._predictions(f32.run(request))
+        assert a and len(a) == len(b)
+        from repro.ml.classifier.crop import FLOAT32_LOGIT_ATOL, FLOAT32_LOGIT_RTOL
+
+        for x, y in zip(a, b):
+            assert y.logits.dtype == np.float32
+            assert x.index == y.index
+            assert np.allclose(
+                y.logits, x.logits,
+                atol=FLOAT32_LOGIT_ATOL, rtol=FLOAT32_LOGIT_RTOL,
+            )
+
+
+class TestEngineProfiling:
+    PHASES = ("expose", "stage1.read", "detect", "condition",
+              "stage2.read", "stage2.classify")
+
+    def test_run_attaches_profile(self):
+        engine = Engine(SYSTEM, profile=True)
+        result = engine.run(scenario())
+        assert result.profile is not None
+        for path in self.PHASES:
+            assert result.profile.get(path) is not None, path
+        assert "phase breakdown" in result.report()
+
+    def test_profile_off_by_default(self):
+        result = Engine(SYSTEM).run(scenario())
+        assert result.profile is None
+
+    def test_profiled_requests_bypass_result_cache(self):
+        engine = Engine(SYSTEM, profile=True)
+        engine.run(scenario())
+        stats = engine.cache.stats()
+        assert stats.results.lookups == 0
+        # And nothing was memoized: a second engine with profiling off
+        # still misses.
+        engine.profile = False
+        engine.run(scenario())
+        assert engine.cache.stats().results.misses == 1
+
+    def test_batch_merges_profiles(self):
+        engine = Engine(SYSTEM, profile=True)
+        batch = engine.run_batch(
+            [scenario(n_frames=2), scenario(n_frames=2, seed=9)], workers=2
+        )
+        assert batch.profile is not None
+        assert batch.profile.get("detect").calls == 4  # 2 requests x 2 frames
+        assert "phase breakdown" in batch.report()
+
+    def test_process_executor_returns_profiles(self):
+        engine = Engine(SYSTEM, profile=True)
+        batch = engine.run_batch(
+            [scenario(n_frames=2), scenario(n_frames=2, seed=9)],
+            workers=2, executor="process",
+        )
+        assert all(r.profile is not None for r in batch)
+        assert batch.profile.get("stage1.read") is not None
+        # Same contract as serial/thread: profiled requests leave the
+        # result tier untouched — no phantom lookups in the batch delta.
+        assert batch.cache.results.lookups == 0
+
+    def test_batched_stage1_mode_profiles_chunked_phases(self):
+        engine = Engine(SYSTEM, profile=True)
+        result = engine.run(scenario(n_frames=4, batch_size=2))
+        profile = result.profile
+        assert profile.get("stage1.read").calls == 2  # one per chunk flush
+        assert profile.get("detect").calls == 4       # still per frame

@@ -132,6 +132,21 @@ class TestBuiltins:
         assert classify(np.ones((4, 4, 3))) == pytest.approx(1.0)
         assert classify(np.zeros((4, 4, 3))) == pytest.approx(0.0)
 
+    def test_mean_luma_batch_bit_identical_to_loop(self):
+        import numpy as np
+
+        from repro.core import classify_crops
+
+        classify = CLASSIFIERS.get("mean-luma")()
+        rng = np.random.default_rng(0)
+        # Mixed shapes (several buckets), RGB and grayscale layouts.
+        rgb = [rng.random((13, 17, 3)) for _ in range(4)] + [rng.random((8, 9, 3))]
+        assert classify_crops(classify, rgb) == [classify(c) for c in rgb]
+        gray = [rng.random((6, 7)) for _ in range(3)]
+        assert classify_crops(classify, gray) == [classify(c) for c in gray]
+        single = [rng.random((5, 5, 1)) for _ in range(2)]
+        assert classify_crops(classify, single) == [classify(c) for c in single]
+
     def test_none_factories_reject_params(self):
         with pytest.raises(ValueError, match="takes no params"):
             CLASSIFIERS.get("none")(bogus=1)

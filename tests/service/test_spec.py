@@ -187,3 +187,32 @@ class TestCoercion:
         assert coerce_service_spec(system).system == system
         service = ServiceSpec(system=system)
         assert coerce_service_spec(service) is service
+
+
+class TestComputeDtype:
+    def test_default_and_round_trip(self):
+        spec = SystemSpec()
+        assert spec.compute_dtype == "float64"
+        assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_float32_round_trips(self):
+        spec = SystemSpec(compute_dtype="float32")
+        data = json.loads(spec.to_json())
+        assert data["compute_dtype"] == "float32"
+        assert SystemSpec.from_dict(data) == spec
+
+    def test_invalid_value_names_field(self):
+        with pytest.raises(SpecError, match=r"system\.compute_dtype.*float16"):
+            SystemSpec(compute_dtype="float16")
+
+    def test_wrong_type_names_field(self):
+        with pytest.raises(SpecError, match=r"system\.compute_dtype"):
+            SystemSpec.from_dict({"compute_dtype": 32})
+
+    def test_dtype_changes_spec_equality(self):
+        assert SystemSpec(compute_dtype="float32") != SystemSpec()
+
+    def test_service_spec_carries_dtype(self):
+        service = ServiceSpec(system=SystemSpec(compute_dtype="float32"))
+        clone = ServiceSpec.from_dict(json.loads(service.to_json()))
+        assert clone.system.compute_dtype == "float32"
