@@ -1,0 +1,97 @@
+"""Experiment-sweep benchmark: regenerates the paper's figure/table
+reports from the shipped ``examples/sweeps/paper_*.json`` specs and gates
+the two properties the subsystem promises:
+
+* **paper trends** — every report's trend checks pass (transfer, energy,
+  and peak memory monotone in the pooling factor k, reductions monotone
+  and > 1x vs the conventional baseline, stage-2 prediction parity across
+  compute dtypes);
+* **bit-identity** — process-executor cells and warm-cache repeats are
+  byte-for-byte identical to fresh serial runs with caching disabled
+  (the determinism contract that makes a sweep a reproducible artifact,
+  not a measurement session).
+
+``REPRO_SWEEP_TINY=1`` shrinks every sweep via ``SweepSpec.tiny()`` (the
+CI smoke setting); the full-size run is identical in structure.  Trend
+checks are exact in both modes — nothing here gates on wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import env_flag
+
+from repro.experiments import (
+    PAPER_SWEEPS,
+    SweepRunner,
+    assert_trends,
+    build_report,
+    load_sweep,
+)
+from repro.service import EngineCache
+
+SWEEPS_DIR = Path(__file__).resolve().parents[1] / "examples" / "sweeps"
+TINY = env_flag("REPRO_SWEEP_TINY")
+
+
+def _load(name: str):
+    spec = load_sweep(SWEEPS_DIR / f"{name}.json")
+    return spec.tiny() if TINY else spec
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SWEEPS))
+def test_paper_sweep_trends(name, benchmark, emit):
+    """Each shipped sweep regenerates its figure/table with passing trends."""
+    spec = _load(name)
+
+    def run():
+        result = SweepRunner(spec, executor="serial", workers=1).run()
+        return result, build_report(result)
+
+    result, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(f"\n{report.markdown}\n")
+    emit(result.describe())
+    assert len(result.records) == spec.grid_size
+    assert_trends(report)
+
+
+def test_sweep_bit_identity_across_executors_and_cache(emit):
+    """Process-pool + warm-cache sweeps == fresh serial uncached, bit for bit."""
+    spec = _load("paper_fig7_transfer")
+
+    cache = EngineCache()
+    process = SweepRunner(spec, executor="process", workers=2, cache=cache).run()
+    cached = SweepRunner(spec, executor="process", workers=2, cache=cache).run()
+    fresh = SweepRunner(
+        spec, executor="serial", workers=1, cache=EngineCache.disabled()
+    ).run()
+
+    assert [r.metrics for r in process] == [r.metrics for r in fresh]
+    assert [r.baseline for r in process] == [r.baseline for r in fresh]
+    assert [r.metrics for r in cached] == [r.metrics for r in fresh]
+    # Worker processes share one clip cache across systems: each distinct
+    # clip renders at most once per worker (chunk placement is scheduler-
+    # dependent), never once per system/k.
+    from repro.service.cache import clip_key
+
+    distinct_clips = len({clip_key(c.scenario) for c in spec.cells()})
+    assert process.cache.clips.misses <= distinct_clips * process.workers
+    # The warm repeat is pure result-tier hits: nothing recomputed.
+    assert cached.cache.results.misses == 0
+    assert cached.cache.results.hits > 0
+
+    # The emitted artifacts are byte-identical too, whatever served them.
+    payloads = [
+        json.dumps(build_report(run).payload, sort_keys=True)
+        for run in (process, cached, fresh)
+    ]
+    assert payloads[0] == payloads[1] == payloads[2]
+    emit(
+        f"\n[sweep] bit-identity: {len(fresh.records)} cell(s) identical under "
+        f"process/warm-cache/serial; warm repeat was "
+        f"{cached.cache.results.hits} result hit(s), 0 misses"
+    )

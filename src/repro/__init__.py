@@ -21,6 +21,9 @@ and Selective ROI.  The package provides:
 * :mod:`repro.service` — the unified service API: component registries,
   serializable :class:`SystemSpec`/:class:`ScenarioSpec` specs, and the
   :class:`Engine` façade with concurrent batch execution.
+* :mod:`repro.experiments` — declarative experiment sweeps
+  (:class:`SweepSpec`/:class:`SweepRunner`) that regenerate the paper's
+  figures/tables as deterministic JSON + markdown reports.
 
 The most commonly used names are re-exported lazily at the top level so that
 ``import repro.analog`` does not pay for the ML stack and vice versa.
@@ -58,6 +61,13 @@ _EXPORTS = {
     "ServiceSpec": "repro.service",
     "ComponentRef": "repro.service",
     "list_components": "repro.service",
+    "SweepSpec": "repro.experiments",
+    "SweepAxis": "repro.experiments",
+    "SweepRunner": "repro.experiments",
+    "SweepResult": "repro.experiments",
+    "load_sweep": "repro.experiments",
+    "run_sweep": "repro.experiments",
+    "build_report": "repro.experiments",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -3,6 +3,8 @@
 Commands:
 
 * ``run`` — serve a JSON service spec through the :class:`~repro.service.Engine`;
+* ``sweep`` — run a declarative experiment sweep and emit its paper-style
+  JSON + markdown report (``repro.experiments``);
 * ``components`` — list every registered detector/classifier/source/policy;
 * ``experiments`` — list every reproducible paper artifact and its bench;
 * ``costs`` — evaluate the Table 1 cost model for one configuration;
@@ -45,6 +47,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.report())
         print()
     print(batch.report())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import SweepRunner, build_report, load_sweep, write_report
+    from .service import SpecError
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        # load_sweep folds unreadable files into SpecError itself
+        spec = load_sweep(args.sweep)
+        if args.tiny:
+            spec = spec.tiny()
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = SweepRunner(
+        spec, executor=args.executor, workers=args.workers, profile=args.profile
+    )
+    try:
+        result = runner.run()
+        report = build_report(result)
+    except (SpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.markdown)
+    print()
+    print(result.describe())
+    if result.profile is not None:
+        print("  phase breakdown (all cells):")
+        print(result.profile.report())
+    try:
+        json_path, md_path = write_report(report, args.out)
+    except OSError as exc:
+        print(f"error: cannot write report to {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(f"  wrote {json_path} and {md_path}")
+    failed = report.failed_trends
+    if failed:
+        for trend in failed:
+            print(f"error: trend check failed: {trend.name}: {trend.detail}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -157,6 +204,38 @@ def build_parser() -> argparse.ArgumentParser:
         "stage2.classify); profiled requests always recompute",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment sweep and emit its report "
+        "(see examples/sweeps/)",
+    )
+    sweep.add_argument("sweep", help="path to a sweep spec (see examples/sweeps/)")
+    sweep.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test mode: capped clip length/resolution, one replicate "
+        "(still deterministic)",
+    )
+    sweep.add_argument(
+        # Mirrors repro.service.EXECUTOR_NAMES, like `run` (the executor
+        # tests assert the two stay in sync).
+        "--executor", choices=["serial", "thread", "process"], default=None,
+        help="batch executor for the sweep (default: the sweep's executor)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size (default: the sweep's workers)",
+    )
+    sweep.add_argument(
+        "--out", default="sweep_reports",
+        help="directory for the <name>.json / <name>.md artifacts "
+        "(default: sweep_reports)",
+    )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="collect a per-phase wall-clock breakdown across every cell "
+        "(profiled cells always recompute; never part of the artifacts)",
+    )
+
     sub.add_parser(
         "components", help="list registered detectors/classifiers/sources/policies"
     )
@@ -192,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "components": _cmd_components,
         "experiments": _cmd_experiments,
         "costs": _cmd_costs,

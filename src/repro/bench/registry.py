@@ -101,6 +101,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_hotpath.py",
             ("repro.core.profiling", "repro.ml", "repro.service"),
         ),
+        Experiment(
+            "sweep",
+            "Figs. 6-8 / Table 2",
+            "Declarative sweeps (repro sweep examples/sweeps/paper_*.json): paper trends + executor/cache bit-identity",
+            "benchmarks/bench_sweep.py",
+            ("repro.experiments", "repro.service", "repro.bench"),
+        ),
     )
 }
 

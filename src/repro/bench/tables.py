@@ -61,6 +61,20 @@ class Table:
     def print(self) -> None:  # pragma: no cover - console side effect
         print("\n" + self.render() + "\n")
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored pipe table (header + alignment row + rows).
+
+        The title is *not* included — markdown callers put it in a
+        heading of their own.
+        """
+        aligns = list(self.aligns or ["r"] * len(self.columns))
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "| " + " | ".join(
+            ":---" if a == "l" else "---:" for a in aligns
+        ) + " |"
+        rows = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([header, rule, *rows])
+
     def to_csv(self) -> str:
         """Comma-separated dump (header + rows)."""
         out = [",".join(self.columns)]

@@ -1,0 +1,70 @@
+"""Declarative experiment sweeps that regenerate the paper's artifacts.
+
+The paper's headline results are parameter sweeps; this package makes
+each one a declarative, cacheable batch workload on top of the service
+layer:
+
+* :mod:`~repro.experiments.sweep` — :class:`SweepSpec`: a frozen,
+  JSON-round-tripping grid declaration (base system/scenario, dotted
+  override axes, replicates, optional conventional baseline);
+* :mod:`~repro.experiments.runner` — :class:`SweepRunner`: expands the
+  grid, serves it through :class:`~repro.service.Engine` batches on one
+  warm executor + shared :class:`~repro.service.EngineCache`, and
+  distills every cell into a tidy :class:`CellRecord`;
+* :mod:`~repro.experiments.report` — paper-style reports
+  (``fig6_memory`` / ``fig7_transfer`` / ``fig8_energy`` /
+  ``table2_accuracy``) as deterministic JSON + markdown artifacts with
+  explicit :class:`TrendCheck`\\ s;
+* :mod:`~repro.experiments.presets` — the shipped
+  ``examples/sweeps/paper_*.json`` specs as factories.
+
+Command line: ``repro sweep examples/sweeps/paper_fig7_transfer.json
+--tiny --out sweep_reports``; see ``docs/paper_mapping.md`` for the
+figure-by-figure map.
+"""
+
+from .presets import PAPER_SWEEPS
+from .report import (
+    PAPER_REPORTS,
+    SweepReport,
+    TrendCheck,
+    assert_trends,
+    build_report,
+    write_report,
+)
+from .runner import (
+    METRIC_NAMES,
+    CellRecord,
+    SweepResult,
+    SweepRunner,
+    outcome_metrics,
+    run_sweep,
+)
+from .sweep import (
+    REPORT_KEYS,
+    SweepAxis,
+    SweepCell,
+    SweepSpec,
+    load_sweep,
+)
+
+__all__ = [
+    "CellRecord",
+    "METRIC_NAMES",
+    "PAPER_REPORTS",
+    "PAPER_SWEEPS",
+    "REPORT_KEYS",
+    "SweepAxis",
+    "SweepCell",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "TrendCheck",
+    "assert_trends",
+    "build_report",
+    "load_sweep",
+    "outcome_metrics",
+    "run_sweep",
+    "write_report",
+]

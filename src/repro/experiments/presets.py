@@ -1,0 +1,156 @@
+"""The paper's figure/table sweeps as ready-made :class:`SweepSpec`\\ s.
+
+One factory per reproducible paper artifact; the JSON files shipped under
+``examples/sweeps/`` are these specs serialized (a test asserts they stay
+in sync).  Regenerate the files after editing a factory::
+
+    PYTHONPATH=src python -m repro.experiments.presets examples/sweeps
+
+Workload choices mirror the single-point benchmarks: CrowdHuman-like
+scenes with *person* (body) ROIs are the paper's worst-case transfer load
+(Fig. 7's own workload), the animated pedestrian clip drives the
+memory/accuracy sweeps, and every sweep crosses the paper's pooling
+factors k = 2/4/8 where pooling is the swept quantity.
+"""
+
+from __future__ import annotations
+
+from ..service.spec import ComponentRef, ScenarioSpec, SystemSpec
+from ..core.config import HiRISEConfig
+from .sweep import SweepAxis, SweepSpec
+
+#: Shared pooling axis: the paper's k = 2/4/8 (Figs. 6-8).
+_POOL_AXIS = SweepAxis("system.config.pool_k", (2, 4, 8))
+
+
+def _crowd_scenario(n_frames: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        source=ComponentRef(
+            "crowdhuman-scenes",
+            {"resolution": [320, 240], "label": "person"},
+        ),
+        n_frames=n_frames,
+        seed=seed,
+    )
+
+
+def _conventional_baseline() -> SystemSpec:
+    return SystemSpec(
+        system="conventional",
+        detector=ComponentRef("ground-truth", {"label": "person"}),
+    )
+
+
+def paper_fig7_transfer() -> SweepSpec:
+    """Fig. 7: median data transfer vs pooling factor, vs baseline."""
+    return SweepSpec(
+        name="paper_fig7_transfer",
+        system=SystemSpec(
+            config=HiRISEConfig(pool_k=2),
+            detector=ComponentRef("ground-truth", {"label": "person"}),
+        ),
+        scenario=_crowd_scenario(n_frames=6, seed=77),
+        axes=(_POOL_AXIS,),
+        baseline=_conventional_baseline(),
+        replicates=2,
+        report="fig7_transfer",
+    )
+
+
+def paper_fig8_energy() -> SweepSpec:
+    """Fig. 8: median sensor energy vs pooling, RGB and grayscale stage 1."""
+    return SweepSpec(
+        name="paper_fig8_energy",
+        system=SystemSpec(
+            config=HiRISEConfig(pool_k=2),
+            detector=ComponentRef("ground-truth", {"label": "person"}),
+        ),
+        scenario=_crowd_scenario(n_frames=4, seed=77),
+        axes=(
+            _POOL_AXIS,
+            SweepAxis("system.config.grayscale_stage1", (False, True)),
+        ),
+        baseline=_conventional_baseline(),
+        replicates=2,
+        report="fig8_energy",
+    )
+
+
+def paper_fig6_memory() -> SweepSpec:
+    """Fig. 6: peak image memory vs pooling factor across array sizes."""
+    return SweepSpec(
+        name="paper_fig6_memory",
+        system=SystemSpec(
+            config=HiRISEConfig(pool_k=2),
+            detector=ComponentRef("ground-truth"),
+        ),
+        scenario=ScenarioSpec(
+            source=ComponentRef("pedestrian", {"resolution": [256, 192]}),
+            n_frames=4,
+            seed=9,
+        ),
+        axes=(
+            _POOL_AXIS,
+            SweepAxis(
+                "scenario.source.params.resolution",
+                ([160, 120], [256, 192], [320, 240]),
+            ),
+        ),
+        baseline=SystemSpec(
+            system="conventional", detector=ComponentRef("ground-truth")
+        ),
+        replicates=1,
+        report="fig6_memory",
+    )
+
+
+def paper_table2_accuracy() -> SweepSpec:
+    """Table 2 parity: stage-2 predictions identical across compute dtypes."""
+    return SweepSpec(
+        name="paper_table2_accuracy",
+        system=SystemSpec(
+            config=HiRISEConfig(pool_k=4),
+            detector=ComponentRef("ground-truth"),
+            classifier=ComponentRef("tiny-cnn", {"input_size": 32}),
+        ),
+        scenario=ScenarioSpec(
+            source=ComponentRef("pedestrian", {"resolution": [256, 192]}),
+            n_frames=6,
+            seed=4,
+            keep_outcomes=True,
+        ),
+        axes=(SweepAxis("system.compute_dtype", ("float64", "float32")),),
+        replicates=2,
+        report="table2_accuracy",
+    )
+
+
+#: sweep name -> factory, in paper order (the shipped example files).
+PAPER_SWEEPS = {
+    "paper_fig6_memory": paper_fig6_memory,
+    "paper_fig7_transfer": paper_fig7_transfer,
+    "paper_fig8_energy": paper_fig8_energy,
+    "paper_table2_accuracy": paper_table2_accuracy,
+}
+
+
+def write_examples(out_dir) -> list:
+    """Serialize every preset into ``out_dir`` (returns written paths)."""
+    from pathlib import Path
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, factory in PAPER_SWEEPS.items():
+        path = out / f"{name}.json"
+        path.write_text(factory().to_json() + "\n")
+        paths.append(path)
+    return paths
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance entry point
+    import sys
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "examples/sweeps"
+    for written in write_examples(target):
+        print(written)

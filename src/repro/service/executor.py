@@ -33,6 +33,7 @@ from multiprocessing import get_context
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .cache import EngineCache
     from .engine import Engine, RunResult
     from .spec import ScenarioSpec, SystemSpec
 
@@ -149,11 +150,20 @@ def _chunk_by_clip(
 
 
 #: Worker-side engines, memoized per (system spec, cache policy) so a
-#: long-lived worker keeps its clip/result caches warm across the chunks
-#: it serves.  LRU-bounded: a worker sweeping many distinct systems must
-#: not pin every old engine (and its cached clips) forever.
+#: long-lived worker keeps its result memos warm across the chunks it
+#: serves.  LRU-bounded: a worker sweeping many distinct systems must
+#: not pin every old engine forever.
 _WORKER_ENGINES: "OrderedDict[tuple, Engine]" = OrderedDict()
 _WORKER_ENGINE_LIMIT = 4
+
+#: One shared cache per cache policy, across every engine in this worker
+#: process.  Cache keys already fold the system fingerprint (results) or
+#: are system-agnostic by design (clips), so sharing is safe — and it is
+#: what lets a multi-system sweep over one workload reuse the rendered
+#: clip instead of re-rendering it per system (the parent-side engines
+#: share one EngineCache the same way).  Outlives engine eviction; each
+#: tier stays LRU-bounded by its own capacity.
+_WORKER_CACHES: dict[tuple, "EngineCache"] = {}
 
 
 def _run_chunk(
@@ -167,7 +177,9 @@ def _run_chunk(
     Module-level (picklable by reference) and lazy-importing, as the
     spawn start method requires.  The worker engine mirrors the parent's
     cache capacities — a parent that disabled caching gets a worker that
-    really recomputes — and the parent's ``profile`` flag, so profiled
+    really recomputes — sharing one per-process cache across every
+    system it serves (clip reuse spans systems, exactly like the parent
+    side), and the parent's ``profile`` flag, so profiled
     batches come back with phase breakdowns (profiles are plain data and
     pickle with the results).  Returns the indexed results plus the
     chunk's clip-tier stats delta, so the parent's accounting covers work
@@ -177,15 +189,15 @@ def _run_chunk(
     from .engine import Engine
 
     clip_capacity, result_capacity = cache_capacities
+    cache = _WORKER_CACHES.get(cache_capacities)
+    if cache is None:
+        cache = _WORKER_CACHES[cache_capacities] = EngineCache(
+            clip_capacity=clip_capacity, result_capacity=result_capacity
+        )
     key = (spec_fingerprint(system.to_dict()) or repr(system), cache_capacities)
     engine = _WORKER_ENGINES.get(key)
     if engine is None:
-        engine = _WORKER_ENGINES[key] = Engine(
-            system,
-            cache=EngineCache(
-                clip_capacity=clip_capacity, result_capacity=result_capacity
-            ),
-        )
+        engine = _WORKER_ENGINES[key] = Engine(system, cache=cache)
     _WORKER_ENGINES.move_to_end(key)
     while len(_WORKER_ENGINES) > _WORKER_ENGINE_LIMIT:
         _WORKER_ENGINES.popitem(last=False)

@@ -8,6 +8,7 @@ import pytest
 from repro.__main__ import build_parser, main
 
 SPECS_DIR = Path(__file__).resolve().parents[2] / "examples" / "specs"
+SWEEPS_DIR = Path(__file__).resolve().parents[2] / "examples" / "sweeps"
 
 
 class TestCLI:
@@ -69,6 +70,14 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_exits_nonzero_with_message(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["launch"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "launch" in err
+
 
 class TestServiceCLI:
     def test_components_lists_registries(self, capsys):
@@ -107,6 +116,14 @@ class TestServiceCLI:
         assert main(["run", str(empty)]) == 2
         assert "no scenarios" in capsys.readouterr().err
 
+    def test_components_groups_are_sorted(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("detectors", "classifiers", "sources", "policies"):
+            section = out.split(f"{kind}:", 1)[1].split(":", 1)[0]
+            names = [l.strip() for l in section.splitlines() if l.startswith("  ")]
+            assert names == sorted(names) and names
+
     def test_all_example_specs_parse(self):
         from repro.service import Engine
 
@@ -117,3 +134,120 @@ class TestServiceCLI:
             assert engine.scenarios
             for scenario in engine.scenarios:
                 scenario.validate_components()
+
+
+class TestSweepCLI:
+    def run_fig7(self, tmp_path, capsys, *extra):
+        spec = str(SWEEPS_DIR / "paper_fig7_transfer.json")
+        code = main([
+            "sweep", spec, "--tiny", "--executor", "serial",
+            "--out", str(tmp_path / "reports"), *extra,
+        ])
+        return code, capsys.readouterr()
+
+    def test_tiny_sweep_emits_report_artifacts(self, tmp_path, capsys):
+        code, captured = self.run_fig7(tmp_path, capsys)
+        assert code == 0
+        assert "# Fig. 7 (sweep)" in captured.out
+        assert "[sweep paper_fig7_transfer-tiny]" in captured.out
+        json_path = tmp_path / "reports" / "paper_fig7_transfer-tiny.json"
+        md_path = tmp_path / "reports" / "paper_fig7_transfer-tiny.md"
+        assert json_path.is_file() and md_path.is_file()
+        payload = json.loads(json_path.read_text())
+        assert all(t["passed"] for t in payload["trends"])
+
+    def test_tiny_sweep_artifacts_are_deterministic(self, tmp_path, capsys):
+        self.run_fig7(tmp_path / "a", capsys)
+        self.run_fig7(tmp_path / "b", capsys)
+        for name in ("paper_fig7_transfer-tiny.json", "paper_fig7_transfer-tiny.md"):
+            first = (tmp_path / "a" / "reports" / name).read_bytes()
+            second = (tmp_path / "b" / "reports" / name).read_bytes()
+            assert first == second
+
+    def test_profile_flag_prints_phase_breakdown(self, tmp_path, capsys):
+        code, captured = self.run_fig7(tmp_path, capsys, "--profile")
+        assert code == 0
+        assert "phase breakdown (all cells)" in captured.out
+        assert "stage1" in captured.out
+
+    def test_missing_sweep_file(self, capsys):
+        assert main(["sweep", "no/such/sweep.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_sweep_spec_names_field(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"axes": [{"path": "pool_k", "values": [2]}]}))
+        assert main(["sweep", str(bad)]) == 2
+        assert "axis.path" in capsys.readouterr().err
+
+    def test_invalid_workers(self, capsys):
+        spec = str(SWEEPS_DIR / "paper_fig7_transfer.json")
+        assert main(["sweep", spec, "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_axis_value_under_tiny_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad_res.json"
+        bad.write_text(json.dumps({
+            "axes": [{
+                "path": "scenario.source.params.resolution",
+                "values": [[320, 240], "oops"],
+            }],
+        }))
+        assert main(["sweep", str(bad), "--tiny"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "resolution" in err
+
+    def test_unwritable_out_dir_is_clean_error(self, tmp_path, capsys):
+        spec = str(SWEEPS_DIR / "paper_fig7_transfer.json")
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        code = main([
+            "sweep", spec, "--tiny", "--executor", "serial",
+            "--out", str(blocker),
+        ])
+        assert code == 2
+        assert "cannot write report" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected_by_parser(self, capsys):
+        spec = str(SWEEPS_DIR / "paper_fig7_transfer.json")
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", spec, "--executor", "gpu"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_failed_trend_check_exits_one(self, tmp_path, capsys):
+        # A parity sweep with no classifier has zero predictions to
+        # compare, so the table2 trend checks must fail (exit code 1).
+        spec = {
+            "name": "no_predictions",
+            "system": {"detector": {"name": "ground-truth"}},
+            "scenario": {
+                "source": {
+                    "name": "pedestrian",
+                    "params": {"resolution": [160, 120]},
+                },
+                "n_frames": 2,
+                "keep_outcomes": True,
+            },
+            "axes": [
+                {"path": "system.compute_dtype",
+                 "values": ["float64", "float32"]},
+            ],
+            "executor": "serial",
+            "workers": 1,
+            "report": "table2_accuracy",
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        code = main(["sweep", str(path), "--out", str(tmp_path / "reports")])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "trend check failed" in err
+        # the report is still written: failures are evidence, not crashes
+        payload = json.loads(
+            (tmp_path / "reports" / "no_predictions.json").read_text()
+        )
+        # zero compared predictions is absence of evidence, not agreement
+        for row in payload["aggregates"]["comparisons"]:
+            assert row["agreement"] is None

@@ -1,0 +1,52 @@
+"""Docs hygiene: every relative markdown link resolves (tools/check_links.py).
+
+The CI docs job runs the same script standalone; this test keeps the
+check in tier-1 so a broken link fails locally before it fails in CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestMarkdownLinks:
+    def test_no_broken_relative_links(self):
+        checker = _load_checker()
+        assert checker.broken_links(REPO_ROOT) == []
+
+    def test_checker_covers_readme_and_docs(self):
+        checker = _load_checker()
+        names = {p.name for p in checker.markdown_files(REPO_ROOT)}
+        assert "README.md" in names
+        assert "architecture.md" in names
+        assert "paper_mapping.md" in names
+        assert "api.md" in names
+
+    def test_checker_reports_broken_links(self, tmp_path):
+        checker = _load_checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[ok](docs/real.md) [bad](docs/missing.md) [ext](https://x.test/a)"
+        )
+        (tmp_path / "docs" / "real.md").write_text("hi")
+        errors = checker.broken_links(tmp_path)
+        assert errors == ["README.md: broken link -> docs/missing.md"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        checker = _load_checker()
+        (tmp_path / "README.md").write_text("[bad](nope.md)")
+        assert checker.main([str(tmp_path)]) == 1
+        assert "broken link" in capsys.readouterr().err
+        (tmp_path / "README.md").write_text("no links here")
+        assert checker.main([str(tmp_path)]) == 0

@@ -1,0 +1,184 @@
+"""Report builders: paper trends, markdown/JSON artifacts, determinism."""
+
+import json
+
+import pytest
+
+from repro.bench import Table
+from repro.experiments import (
+    PAPER_SWEEPS,
+    SweepRunner,
+    assert_trends,
+    build_report,
+    write_report,
+)
+from repro.experiments.report import TrendCheck
+from repro.experiments.runner import SweepResult
+
+
+def run_tiny(name: str):
+    spec = PAPER_SWEEPS[name]().tiny()
+    return SweepRunner(spec, executor="serial", workers=1).run()
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return run_tiny("paper_fig7_transfer")
+
+
+class TestPaperReports:
+    def test_fig7_trends_pass(self, fig7_result):
+        report = build_report(fig7_result)
+        assert report.name == "paper_fig7_transfer-tiny"
+        names = [t.name for t in report.trends]
+        assert "transfer_monotone_in_k" in names
+        assert "reduction_monotone_in_k" in names
+        assert_trends(report)
+
+    def test_fig8_trends_pass(self):
+        report = build_report(run_tiny("paper_fig8_energy"))
+        names = [t.name for t in report.trends]
+        assert "energy_monotone_in_k" in names
+        assert "grayscale_cheaper_than_rgb" in names
+        assert_trends(report)
+
+    def test_fig6_trends_pass(self):
+        report = build_report(run_tiny("paper_fig6_memory"))
+        names = [t.name for t in report.trends]
+        assert "memory_monotone_in_k" in names
+        assert "baseline_dominates_every_cell" in names
+        assert_trends(report)
+
+    def test_table2_parity_passes(self):
+        report = build_report(run_tiny("paper_table2_accuracy"))
+        parity = next(t for t in report.trends if t.name == "dtype_argmax_parity")
+        assert parity.passed
+        assert report.payload["aggregates"]["compared_predictions"] > 0
+
+    def test_markdown_structure(self, fig7_result):
+        report = build_report(fig7_result)
+        assert report.markdown.startswith("# Fig. 7")
+        assert "## Trend checks" in report.markdown
+        assert "## Per-cell records" in report.markdown
+        assert "- [x] `transfer_monotone_in_k`" in report.markdown
+
+    def test_payload_embeds_spec_and_records(self, fig7_result):
+        report = build_report(fig7_result)
+        assert report.payload["sweep"] == fig7_result.spec.to_dict()
+        assert len(report.payload["records"]) == len(fig7_result.records)
+        assert report.payload["aggregates"]["median_transfer_bytes_by_k"]
+
+    def test_generic_report_when_no_key(self):
+        import dataclasses
+
+        result = run_tiny("paper_fig7_transfer")
+        generic_spec = dataclasses.replace(result.spec, report="")
+        generic = build_report(
+            SweepResult(spec=generic_spec, records=result.records)
+        )
+        assert generic.trends == ()
+        assert "## Per-cell records" in generic.markdown
+
+    def test_report_requires_its_axis(self, fig7_result):
+        import dataclasses
+
+        bad_spec = PAPER_SWEEPS["paper_table2_accuracy"]().tiny()
+        mismatched = SweepResult(
+            spec=dataclasses.replace(bad_spec, report="fig7_transfer"),
+            records=(),
+        )
+        with pytest.raises(ValueError, match="needs an axis"):
+            build_report(mismatched)
+
+    def test_single_k_monotone_check_fails_not_vacuously_passes(self):
+        import dataclasses
+
+        from repro.experiments import SweepAxis, SweepRunner
+
+        spec = PAPER_SWEEPS["paper_fig7_transfer"]().tiny()
+        one_k = dataclasses.replace(
+            spec, axes=(SweepAxis("system.config.pool_k", (4,)),)
+        )
+        report = build_report(SweepRunner(one_k, executor="serial", workers=1).run())
+        check = next(
+            t for t in report.trends if t.name == "transfer_monotone_in_k"
+        )
+        assert not check.passed
+        assert "nothing to compare" in check.detail
+
+    def test_fig8_grayscale_check_fails_without_a_pair(self):
+        # a grayscale axis with only one mode compares nothing: the
+        # check must fail loudly, never pass vacuously
+        import dataclasses
+
+        from repro.experiments import SweepAxis, SweepRunner
+
+        spec = PAPER_SWEEPS["paper_fig8_energy"]().tiny()
+        axes = tuple(
+            dataclasses.replace(a, values=(True,))
+            if a.path == "system.config.grayscale_stage1" else a
+            for a in spec.axes
+        )
+        lone = dataclasses.replace(spec, axes=axes)
+        report = build_report(SweepRunner(lone, executor="serial", workers=1).run())
+        check = next(
+            t for t in report.trends if t.name == "grayscale_cheaper_than_rgb"
+        )
+        assert not check.passed
+        assert "no grayscale/RGB pair" in check.detail
+
+    def test_table2_requires_float64_reference(self):
+        import dataclasses
+
+        from repro.experiments import SweepAxis
+
+        result = run_tiny("paper_table2_accuracy")
+        no_ref = dataclasses.replace(
+            result.spec,
+            axes=(SweepAxis("system.compute_dtype", ("float32",)),),
+        )
+        with pytest.raises(ValueError, match="float64"):
+            build_report(SweepResult(spec=no_ref, records=result.records))
+
+    def test_assert_trends_raises_listing_failures(self):
+        report_like = build_report(run_tiny("paper_fig7_transfer"))
+        broken = type(report_like)(
+            name=report_like.name,
+            title=report_like.title,
+            payload=report_like.payload,
+            markdown=report_like.markdown,
+            trends=(TrendCheck("made_up", False, "evidence"),),
+        )
+        with pytest.raises(AssertionError, match="made_up"):
+            assert_trends(broken)
+
+
+class TestArtifacts:
+    def test_write_report_emits_json_and_markdown(self, fig7_result, tmp_path):
+        report = build_report(fig7_result)
+        json_path, md_path = write_report(report, tmp_path / "out")
+        assert json_path.name == "paper_fig7_transfer-tiny.json"
+        assert md_path.name == "paper_fig7_transfer-tiny.md"
+        payload = json.loads(json_path.read_text())
+        assert payload == report.payload
+        assert md_path.read_text().rstrip("\n") == report.markdown
+
+    def test_artifacts_deterministic_across_runs(self, fig7_result):
+        again = run_tiny("paper_fig7_transfer")
+        a, b = build_report(fig7_result), build_report(again)
+        assert a.markdown == b.markdown
+        assert json.dumps(a.payload, sort_keys=True) == json.dumps(
+            b.payload, sort_keys=True
+        )
+
+
+class TestMarkdownTable:
+    def test_to_markdown_shape_and_alignment(self):
+        table = Table("t", ["name", "value"], aligns=["l", "r"])
+        table.add_row("a", 1)
+        table.add_row("b", 2.5)
+        lines = table.to_markdown().splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| :--- | ---: |"
+        assert lines[2] == "| a | 1 |"
+        assert lines[3] == "| b | 2.5 |"

@@ -1,0 +1,169 @@
+"""SweepRunner: records, baselines, caching, executor bit-identity."""
+
+import pytest
+
+from repro.experiments import SweepAxis, SweepRunner, SweepSpec, run_sweep
+from repro.experiments.runner import METRIC_NAMES
+from repro.service import (
+    ComponentRef,
+    EngineCache,
+    Engine,
+    ScenarioSpec,
+    SystemSpec,
+    ThreadExecutor,
+)
+
+
+def transfer_sweep(replicates: int = 1, baseline: bool = True) -> SweepSpec:
+    return SweepSpec(
+        name="unit_transfer",
+        system=SystemSpec(detector=ComponentRef("ground-truth")),
+        scenario=ScenarioSpec(
+            source=ComponentRef("pedestrian", {"resolution": [160, 120]}),
+            n_frames=3,
+            seed=5,
+        ),
+        axes=(SweepAxis("system.config.pool_k", (2, 4, 8)),),
+        baseline=(
+            SystemSpec(system="conventional", detector=ComponentRef("ground-truth"))
+            if baseline
+            else None
+        ),
+        replicates=replicates,
+        executor="serial",
+        workers=1,
+    )
+
+
+class TestRecords:
+    def test_records_in_grid_order_with_metrics(self):
+        result = run_sweep(transfer_sweep())
+        assert len(result.records) == 3
+        for record in result.records:
+            assert set(record.metrics) == set(METRIC_NAMES)
+            assert record.metrics["n_frames"] == 3
+        ks = [r.cell.coordinate("system.config.pool_k") for r in result.records]
+        assert ks == [2, 4, 8]
+
+    def test_transfer_decreases_with_k(self):
+        result = run_sweep(transfer_sweep())
+        transfer = [r.metrics["total_bytes"] for r in result.records]
+        assert transfer[0] > transfer[1] > transfer[2]
+
+    def test_baseline_and_reductions(self):
+        result = run_sweep(transfer_sweep())
+        for record in result.records:
+            assert record.baseline is not None
+            # one shared clip: the baseline saw the very same frames
+            assert record.baseline["n_frames"] == record.metrics["n_frames"]
+            reductions = record.reductions
+            assert reductions["transfer_reduction"] > 1.0
+            assert reductions["memory_reduction"] > 1.0
+
+    def test_no_baseline_means_no_reductions(self):
+        result = run_sweep(transfer_sweep(baseline=False))
+        for record in result.records:
+            assert record.baseline is None
+            assert record.reductions == {}
+
+    def test_replicates_differ_but_are_deterministic(self):
+        result = run_sweep(transfer_sweep(replicates=2))
+        assert len(result.records) == 6
+        by_label = {r.cell.label: r.metrics for r in result.records}
+        # replicate 1 re-seeds the clip: genuinely different frames
+        assert by_label["pool_k=2/r0"] != by_label["pool_k=2/r1"]
+        again = run_sweep(transfer_sweep(replicates=2))
+        assert [r.metrics for r in again] == [r.metrics for r in result]
+
+    def test_to_dict_is_deterministic_plain_data(self):
+        import json
+
+        result = run_sweep(transfer_sweep())
+        data = result.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert "wall_time_s" not in json.dumps(data)
+
+    def test_labels_captured_when_outcomes_kept(self):
+        spec = SweepSpec(
+            name="unit_labels",
+            system=SystemSpec(
+                detector=ComponentRef("ground-truth"),
+                classifier=ComponentRef("tiny-cnn", {"input_size": 16}),
+            ),
+            scenario=ScenarioSpec(
+                source=ComponentRef("pedestrian", {"resolution": [160, 120]}),
+                n_frames=2,
+                seed=5,
+                keep_outcomes=True,
+            ),
+            axes=(SweepAxis("system.compute_dtype", ("float64", "float32")),),
+            executor="serial",
+            workers=1,
+        )
+        result = run_sweep(spec)
+        f64, f32 = result.records
+        assert f64.labels is not None and len(f64.labels) > 0
+        # Table 2 parity: identical argmax across compute dtypes
+        assert f64.labels == f32.labels
+
+
+class TestExecutionEquivalence:
+    def test_thread_executor_bit_identical_to_serial(self):
+        spec = transfer_sweep(replicates=2)
+        serial = run_sweep(spec, cache=EngineCache.disabled())
+        threaded = run_sweep(spec, executor="thread", workers=4)
+        assert [r.metrics for r in threaded] == [r.metrics for r in serial]
+        assert [r.baseline for r in threaded] == [r.baseline for r in serial]
+
+    def test_warm_cache_repeat_is_pure_hits_and_identical(self):
+        spec = transfer_sweep()
+        cache = EngineCache()
+        first = run_sweep(spec, cache=cache)
+        second = run_sweep(spec, cache=cache)
+        assert [r.metrics for r in second] == [r.metrics for r in first]
+        assert second.cache.results.misses == 0
+        assert second.cache.results.hits > 0
+
+    def test_borrowed_executor_stays_open(self):
+        spec = transfer_sweep()
+        pool = ThreadExecutor(workers=2)
+        try:
+            first = run_sweep(spec, executor=pool)
+            second = run_sweep(spec, executor=pool)
+            assert pool._pool is not None or pool.workers == 2
+            assert [r.metrics for r in first] == [r.metrics for r in second]
+            assert first.executor == "thread"
+        finally:
+            pool.close()
+
+    def test_cells_match_engine_run_exactly(self):
+        """A sweep cell is exactly Engine.run on the cell's specs."""
+        spec = transfer_sweep()
+        result = run_sweep(spec, cache=EngineCache.disabled())
+        for cell, record in zip(spec.cells(), result.records):
+            fresh = Engine(cell.system, cache=EngineCache.disabled()).run(
+                cell.scenario
+            )
+            for name in METRIC_NAMES:
+                assert record.metrics[name] == getattr(fresh.outcome, name)
+
+    def test_shared_clip_rendered_once_across_systems(self):
+        """The clip tier is system-agnostic: one render serves every k."""
+        spec = transfer_sweep()
+        cache = EngineCache()
+        run_sweep(spec, cache=cache)
+        stats = cache.stats().clips
+        # 3 hirise cells + 1 baseline batch over one distinct clip
+        assert stats.misses == 1
+        assert stats.hits >= 3
+
+    def test_profile_attaches_phase_breakdowns(self):
+        result = run_sweep(transfer_sweep(baseline=False), profile=True)
+        assert result.profile is not None
+        for record in result.records:
+            assert record.profile is not None
+            assert record.profile.get("stage1.read") is not None
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SweepRunner(transfer_sweep(), workers=0)

@@ -224,8 +224,9 @@ class TestChunking:
         subparsers = next(
             a for a in parser._actions if isinstance(a.choices, dict)
         )
-        run_parser = subparsers.choices["run"]
-        executor_arg = next(
-            a for a in run_parser._actions if "--executor" in a.option_strings
-        )
-        assert tuple(executor_arg.choices) == EXECUTOR_NAMES
+        for command in ("run", "sweep"):
+            sub = subparsers.choices[command]
+            executor_arg = next(
+                a for a in sub._actions if "--executor" in a.option_strings
+            )
+            assert tuple(executor_arg.choices) == EXECUTOR_NAMES, command

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the docs resolves.
+
+Scans the repo-root ``*.md`` files (minus SNIPPETS.md, which quotes
+third-party code) and everything under ``docs/``, extracts inline links
+(``[text](target)``), and verifies that each relative target exists on
+disk.  External links (``http(s)://``, ``mailto:``) and pure in-page
+anchors (``#...``) are skipped; anchors on relative links are stripped
+before the existence check (heading names are not validated).
+
+Usage::
+
+    python tools/check_links.py [repo-root]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+printed as ``file: broken link -> target``).  Run by the CI docs job and
+by ``tests/docs/test_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link: [text](target) — target without spaces.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Root-level files excluded from the scan.
+EXCLUDE = {"SNIPPETS.md"}
+
+#: Targets that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every checked markdown file: root ``*.md`` minus excludes + docs/."""
+    files = [p for p in sorted(root.glob("*.md")) if p.name not in EXCLUDE]
+    files += sorted((root / "docs").glob("*.md"))
+    return files
+
+
+def broken_links(root: Path) -> list[str]:
+    """All unresolvable relative links, as ``file: broken link -> target``."""
+    errors = []
+    for md_file in markdown_files(root):
+        for match in LINK_RE.finditer(md_file.read_text()):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md_file.relative_to(root)}: broken link -> {target}"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parents[1]
+    errors = broken_links(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(markdown_files(root))
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
