@@ -1,0 +1,221 @@
+"""Serving benchmark: sustained RPS and latency through the daemon.
+
+The serving layer's promise is that a long-lived daemon with ONE warm
+:class:`~repro.service.Engine` turns repeat scenario requests into pure
+cache lookups — same bits as a fresh serial run, a fraction of the cost.
+This bench drives a live :class:`~repro.server.ReproServer` over its real
+socket with concurrent keep-alive clients and enforces:
+
+1. every daemon response — cold or warm, whole or streamed — is
+   **bit-identical** to a fresh, cache-free serial ``Engine.run``;
+2. the warm sustained phase is **pure cache hits**: the daemon's result
+   tier reports exactly one hit per request and zero new misses;
+3. a streamed request reassembles to the same outcome the whole-result
+   mode returns.
+
+What it *reports* (never gates on — CI runners cannot assert timings):
+sustained requests-per-second and p50/p99 request latency for the warm
+phase, cold-phase latency for contrast, all written to
+``BENCH_serving.json`` at the repo root for artifact upload.
+
+Env knobs (CI smoke uses the first):
+  ``REPRO_SERVING_TINY``      tiny workload, correctness asserts only
+  ``REPRO_SERVING_CLIENTS``   concurrent load-generator connections
+  ``REPRO_SERVING_REQUESTS``  total warm-phase requests
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import env_flag, env_int
+
+from repro.bench import Table
+from repro.server import ReproServer, ServerClient
+from repro.service import Engine, EngineCache, ScenarioSpec
+from repro.service.spec import coerce_service_spec
+
+TINY = env_flag("REPRO_SERVING_TINY")
+RESOLUTION = (64, 48) if TINY else (160, 120)
+N_FRAMES = 3 if TINY else 12
+N_SCENARIOS = 3 if TINY else 6
+CLIENTS = env_int("REPRO_SERVING_CLIENTS", 2 if TINY else 4)
+REQUESTS = env_int("REPRO_SERVING_REQUESTS", 12 if TINY else 120)
+WORKERS = 2 if TINY else 4
+
+SYSTEM = {"system": {"system": "hirise"}}
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def workload() -> list[ScenarioSpec]:
+    """Distinct scenarios across both clip sources and two policies."""
+    scenarios = []
+    for index in range(N_SCENARIOS):
+        source = ("pedestrian", "drone")[index % 2]
+        spec = {
+            "source": {"name": source, "params": {"resolution": list(RESOLUTION)}},
+            "n_frames": N_FRAMES,
+            "seed": 100 + index,
+            "name": f"serving-{source}-{index}",
+        }
+        if index % 3 == 2:
+            spec["policy"] = {"name": "temporal-reuse", "params": {"max_reuse": 2}}
+        scenarios.append(ScenarioSpec.from_dict(spec))
+    return scenarios
+
+
+def drive(address, scenarios, n_requests, n_clients):
+    """Concurrent keep-alive clients; returns (latencies_s, wall_s, results).
+
+    Each client owns one connection and walks the workload round-robin
+    from its own offset, so every scenario stays in rotation and the
+    daemon sees interleaved, overlapping requests — serving conditions,
+    not a lockstep sweep.
+    """
+    latencies = [[] for _ in range(n_clients)]
+    results = [[] for _ in range(n_clients)]
+    per_client = n_requests // n_clients
+    errors = []
+
+    def client_loop(client_index):
+        try:
+            with ServerClient(*address, timeout_s=120.0) as client:
+                for step in range(per_client):
+                    spec = scenarios[(client_index + step) % len(scenarios)]
+                    start = time.perf_counter()
+                    result = client.run(spec)
+                    latencies[client_index].append(time.perf_counter() - start)
+                    results[client_index].append(result)
+        except Exception as exc:  # surface in the main thread
+            errors.append((client_index, exc))
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,)) for i in range(n_clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    wall = time.perf_counter() - start
+    assert not errors, f"client failures: {errors}"
+    return [lat for per in latencies for lat in per], wall, results
+
+
+def percentiles(latencies_s):
+    lat_ms = np.asarray(latencies_s) * 1e3
+    return float(np.percentile(lat_ms, 50)), float(np.percentile(lat_ms, 99))
+
+
+def test_serving_sustained_rps(emit):
+    scenarios = workload()
+    reference = Engine(
+        coerce_service_spec(SYSTEM).system, cache=EngineCache.disabled()
+    )
+    expected = {spec.label: reference.run(spec) for spec in scenarios}
+
+    with ReproServer(
+        SYSTEM, workers=WORKERS, executor="thread", queue_size=max(16, REQUESTS)
+    ) as server:
+        with ServerClient(*server.address) as probe:
+            # -- cold phase: every distinct scenario once, serially -------
+            cold_latencies = []
+            for spec in scenarios:
+                start = time.perf_counter()
+                result = probe.run(spec)
+                cold_latencies.append(time.perf_counter() - start)
+                assert result.outcome.frames == expected[spec.label].outcome.frames
+            cold_stats = probe.stats()
+
+            # -- warm sustained phase: concurrent keep-alive clients ------
+            latencies, wall, results = drive(
+                server.address, scenarios, REQUESTS, CLIENTS
+            )
+            warm_stats = probe.stats()
+
+            # -- streaming parity on the warm cache -----------------------
+            streamed = probe.run_streaming(scenarios[0])
+
+    n_warm = CLIENTS * (REQUESTS // CLIENTS)
+    rps = n_warm / wall
+    p50, p99 = percentiles(latencies)
+    cold_p50, _ = percentiles(cold_latencies)
+
+    table = Table(
+        f"serving: {n_warm} warm requests over {CLIENTS} connection(s), "
+        f"{N_SCENARIOS} scenarios x {N_FRAMES} frames at "
+        f"{RESOLUTION[0]}x{RESOLUTION[1]}, {WORKERS} worker(s)",
+        ["phase", "requests", "RPS", "p50 ms", "p99 ms"],
+        aligns=["l", "r", "r", "r", "r"],
+    )
+    table.add_row(
+        "cold (miss)", str(len(scenarios)), "-", f"{cold_p50:.1f}", "-"
+    )
+    table.add_row(
+        "warm (hits)", str(n_warm), f"{rps:.0f}", f"{p50:.2f}", f"{p99:.2f}"
+    )
+    emit("\n" + table.render())
+
+    # 1. Every warm response is bit-identical to the fresh serial run.
+    checked = 0
+    for per_client in results:
+        for result in per_client:
+            want = expected[result.scenario.label]
+            assert result.scenario == want.scenario
+            assert result.outcome.frames == want.outcome.frames
+            checked += 1
+    assert checked == n_warm
+    emit(f"check 1: {checked} warm responses bit-identical to serial run()")
+
+    # 2. The sustained phase never computed: one result-tier hit per
+    # request, not a single new miss.
+    cold = cold_stats.cache["results"]
+    warm = warm_stats.cache["results"]
+    assert cold["misses"] == len(scenarios)
+    assert warm["misses"] == cold["misses"]
+    assert warm["hits"] == cold["hits"] + n_warm
+    emit(
+        f"check 2: warm phase is pure cache hits "
+        f"(+{n_warm} hits, +0 misses on the daemon's result tier)"
+    )
+
+    # 3. Streaming mode replays the same memoized outcome (frame rows and
+    # totals; wall time legitimately differs from the reference run).
+    want = expected[scenarios[0].label].outcome
+    assert streamed.outcome.frames == want.frames
+    assert streamed.outcome.system == want.system
+    assert streamed.outcome.total_bytes == want.total_bytes
+    emit("check 3: streamed request reassembles bit-identical frames")
+
+    payload = {
+        "experiment": "serving",
+        "tiny": TINY,
+        "config": {
+            "n_scenarios": N_SCENARIOS,
+            "n_frames": N_FRAMES,
+            "resolution": list(RESOLUTION),
+            "clients": CLIENTS,
+            "warm_requests": n_warm,
+            "workers": WORKERS,
+        },
+        "cold": {
+            "requests": len(scenarios),
+            "p50_ms": cold_p50,
+        },
+        "warm": {
+            "requests": n_warm,
+            "wall_s": wall,
+            "rps": rps,
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "pure_cache_hits": True,
+            "bit_identical": True,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(f"wrote {OUTPUT.name}")

@@ -21,6 +21,10 @@ and Selective ROI.  The package provides:
 * :mod:`repro.service` — the unified service API: component registries,
   serializable :class:`SystemSpec`/:class:`ScenarioSpec` specs, and the
   :class:`Engine` façade with concurrent batch execution.
+* :mod:`repro.server` — the serving layer: a long-lived daemon
+  (:class:`ReproServer`) owning one warm executor + cache behind a
+  newline-delimited JSON socket protocol, and its blocking
+  :class:`ServerClient`.
 * :mod:`repro.experiments` — declarative experiment sweeps
   (:class:`SweepSpec`/:class:`SweepRunner`) that regenerate the paper's
   figures/tables as deterministic JSON + markdown reports.
@@ -61,6 +65,10 @@ _EXPORTS = {
     "ServiceSpec": "repro.service",
     "ComponentRef": "repro.service",
     "list_components": "repro.service",
+    "ReproServer": "repro.server",
+    "ServerClient": "repro.server",
+    "ServerError": "repro.server",
+    "wait_for_server": "repro.server",
     "SweepSpec": "repro.experiments",
     "SweepAxis": "repro.experiments",
     "SweepRunner": "repro.experiments",

@@ -3,6 +3,10 @@
 Commands:
 
 * ``run`` — serve a JSON service spec through the :class:`~repro.service.Engine`;
+* ``serve`` — run the long-lived serving daemon (:mod:`repro.server`)
+  for a spec: one warm executor + cache behind a socket;
+* ``request`` — send one scenario to a running daemon (whole-result or
+  ``--stream``), or probe it (``--ping`` / ``--stats`` / ``--shutdown``);
 * ``sweep`` — run a declarative experiment sweep and emit its paper-style
   JSON + markdown report (``repro.experiments``);
 * ``components`` — list every registered detector/classifier/source/policy;
@@ -47,6 +51,136 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.report())
         print()
     print(batch.report())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .server import ReproServer
+    from .service import SpecError
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        server = ReproServer(
+            args.spec,
+            host=args.host,
+            port=args.port,
+            queue_size=args.queue_size,
+            workers=args.workers,
+            executor=args.executor,
+            request_timeout_s=args.timeout,
+        )
+        server.start()
+    except (SpecError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    # CI and scripts poll for this exact line as the readiness signal.
+    print(f"serving {host}:{port} ({server.executor.name} executor x "
+          f"{server.workers} worker(s), queue {args.queue_size})", flush=True)
+
+    interrupted = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        interrupted.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _on_signal)
+    # Wake periodically so a signal can break the wait; a client-sent
+    # shutdown frame ends the wait by itself.
+    while not server.wait(timeout=0.2):
+        if interrupted.is_set():
+            print("draining...", flush=True)
+            server.shutdown(drain=True)
+            break
+    print("stopped", flush=True)
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from .server import ServerClient, ServerError
+    from .service import ScenarioSpec, SpecError
+
+    probes = sum(bool(flag) for flag in (args.ping, args.stats, args.shutdown))
+    if probes > 1:
+        print("error: --ping/--stats/--shutdown are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if probes == 0 and args.scenario is None:
+        print("error: a scenario file is required unless probing with "
+              "--ping/--stats/--shutdown", file=sys.stderr)
+        return 2
+    try:
+        with ServerClient(args.host, args.port) as client:
+            if args.ping:
+                print(f"pong (repro {client.ping()})")
+                return 0
+            if args.stats:
+                stats = client.stats()
+                print(f"requests served: {stats.requests_served}")
+                print(f"queue depth    : {stats.queue_depth}")
+                print(f"draining       : {stats.draining}")
+                for tier, counters in stats.cache.items():
+                    print(f"cache[{tier}]: {counters['hits']} hit(s) / "
+                          f"{counters['misses']} miss(es), "
+                          f"{counters['evictions']} evicted")
+                return 0
+            if args.shutdown:
+                print(client.shutdown(drain=not args.no_drain))
+                return 0
+            try:
+                with open(args.scenario, encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: {args.scenario}: {exc}", file=sys.stderr)
+                return 2
+            # Accept a bare scenario object or a service spec file (take
+            # the --index'th entry of its "scenarios" list).
+            if isinstance(data, dict) and "scenarios" in data:
+                scenarios = data["scenarios"]
+                if not isinstance(scenarios, list) or not scenarios:
+                    print(f"error: {args.scenario}: \"scenarios\" must be a "
+                          "non-empty list", file=sys.stderr)
+                    return 2
+                if not 0 <= args.index < len(scenarios):
+                    print(f"error: --index {args.index} out of range "
+                          f"(spec has {len(scenarios)} scenario(s))",
+                          file=sys.stderr)
+                    return 2
+                data = scenarios[args.index]
+            try:
+                scenario = ScenarioSpec.from_dict(data)
+            except SpecError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.stream:
+                def on_stats(stats):
+                    print(f"frame {stats.frame_index}: "
+                          f"{'stage1' if stats.ran_stage1 else 'reuse'}"
+                          f"{f' ({stats.reason})' if stats.reason else ''}, "
+                          f"{stats.n_rois} ROI(s), "
+                          f"{stats.total_bytes} B, "
+                          f"{stats.energy_j * 1e6:.2f} uJ", flush=True)
+
+                result = client.run_streaming(
+                    scenario, on_stats=on_stats, timeout_s=args.timeout
+                )
+            else:
+                result = client.run(scenario, timeout_s=args.timeout)
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(result.report())
     return 0
 
 
@@ -204,6 +338,76 @@ def build_parser() -> argparse.ArgumentParser:
         "stage2.classify); profiled requests always recompute",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the serving daemon: one warm executor + cache behind a socket",
+    )
+    serve.add_argument("spec", help="path to a service spec (see examples/specs/)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port, printed on startup)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=16,
+        help="admission bound: requests waiting beyond this are rejected "
+        "with a typed queue-full error (default 16)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="serving concurrency (default: the spec's workers)",
+    )
+    serve.add_argument(
+        # Mirrors repro.service.EXECUTOR_NAMES, like `run` (the executor
+        # tests assert the two stay in sync).
+        "--executor", choices=["serial", "thread", "process"], default=None,
+        help="warm executor for non-streaming requests "
+        "(default: the spec's executor)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request deadline in seconds (default: none)",
+    )
+
+    request = sub.add_parser(
+        "request", help="send one scenario to a running daemon, or probe it"
+    )
+    request.add_argument(
+        "scenario", nargs="?", default=None,
+        help="path to a scenario JSON (or a service spec file; --index "
+        "selects from its \"scenarios\" list)",
+    )
+    request.add_argument("--host", default="127.0.0.1", help="daemon address")
+    request.add_argument("--port", type=int, required=True, help="daemon port")
+    request.add_argument(
+        "--index", type=int, default=0,
+        help="scenario index when the file is a service spec (default 0)",
+    )
+    request.add_argument(
+        "--stream", action="store_true",
+        help="stream per-frame ledger rows as they land instead of one "
+        "whole-result reply",
+    )
+    request.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (default: the daemon's)",
+    )
+    request.add_argument(
+        "--ping", action="store_true", help="liveness probe (no scenario)"
+    )
+    request.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's queue/cache counters (no scenario)",
+    )
+    request.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to stop, draining in-flight work (no scenario)",
+    )
+    request.add_argument(
+        "--no-drain", action="store_true",
+        help="with --shutdown: cancel queued requests instead of draining",
+    )
+
     sweep = sub.add_parser(
         "sweep",
         help="run a declarative experiment sweep and emit its report "
@@ -271,6 +475,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
         "sweep": _cmd_sweep,
         "components": _cmd_components,
         "experiments": _cmd_experiments,

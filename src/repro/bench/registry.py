@@ -102,6 +102,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             ("repro.core.profiling", "repro.ml", "repro.service"),
         ),
         Experiment(
+            "serving",
+            "Ext. D",
+            "Serving daemon: sustained RPS and p50/p99 latency over the socket, warm-cache hits bit-identical to serial runs",
+            "benchmarks/bench_serving.py",
+            ("repro.server", "repro.service"),
+        ),
+        Experiment(
             "sweep",
             "Figs. 6-8 / Table 2",
             "Declarative sweeps (repro sweep examples/sweeps/paper_*.json): paper trends + executor/cache bit-identity",

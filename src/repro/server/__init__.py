@@ -1,0 +1,50 @@
+"""The serving layer: a long-lived daemon in front of one warm engine.
+
+:mod:`repro.service` made reproduction requests *addressable*
+(:class:`~repro.service.ScenarioSpec`) and batchable
+(:class:`~repro.service.Engine`); this package makes them *servable*: a
+:class:`ReproServer` owns one warm executor and one shared cache for its
+whole lifetime and answers spec-addressed requests over a socket — the
+deployment shape the HiRISE edge/host split implies, where one host-side
+system serves many sensor streams.
+
+Three modules:
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire format
+  (typed frames, exact round-trips, typed :data:`~repro.server.protocol.ERROR_CODES`);
+* :mod:`repro.server.daemon` — :class:`ReproServer`: bounded-queue
+  admission control, per-request timeouts, streaming, graceful drain;
+* :mod:`repro.server.client` — :class:`ServerClient`: a blocking client
+  returning the same :class:`~repro.service.RunResult` a local engine
+  does, raising typed :class:`ServerError` subclasses.
+
+CLI: ``repro serve <spec>`` runs a daemon, ``repro request <spec>``
+sends one scenario to it.  Benchmark: ``benchmarks/bench_serving.py``
+(experiment "serving") measures sustained RPS and p50/p99 latency.
+"""
+
+from .client import (
+    BackpressureError,
+    BadRequestError,
+    RequestTimeoutError,
+    ServerClient,
+    ServerError,
+    ServerShuttingDownError,
+    wait_for_server,
+)
+from .daemon import ReproServer
+from .protocol import ERROR_CODES, MAX_FRAME_BYTES, ProtocolError
+
+__all__ = [
+    "BackpressureError",
+    "BadRequestError",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ReproServer",
+    "RequestTimeoutError",
+    "ServerClient",
+    "ServerError",
+    "ServerShuttingDownError",
+    "wait_for_server",
+]

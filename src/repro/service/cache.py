@@ -127,30 +127,50 @@ class SpecCache:
         with self._lock:
             return len(self._entries)
 
-    def get_or_build(self, key: str | None, build: Callable[[], object]):
+    def get_or_build(
+        self,
+        key: str | None,
+        build: Callable[[], object],
+        delta: TierStats | None = None,
+    ):
         """Return the value for ``key``, building it at most once.
 
         Concurrent callers for one key share a single in-flight build
         (the losers block on the winner's future).  A failed build is
         dropped from the cache so later calls retry, and its exception
         propagates to every waiter.
+
+        Args:
+            key: content address (``None`` = uncacheable, always builds).
+            build: zero-argument factory for the value.
+            delta: optional per-caller counter, incremented alongside the
+                tier's global ``stats`` *under the same lock*.  This is
+                what lets concurrent batches sharing one cache each report
+                exactly their own hits/misses — a global before/after
+                snapshot would attribute every other batch's traffic too.
         """
         if key is None or self.capacity == 0:
             with self._lock:
                 self.stats.misses += 1
+                if delta is not None:
+                    delta.misses += 1
             return build()
         is_owner = False
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self.stats.hits += 1
+                if delta is not None:
+                    delta.hits += 1
                 self._entries.move_to_end(key)
             else:
                 self.stats.misses += 1
+                if delta is not None:
+                    delta.misses += 1
                 is_owner = True
                 entry = Future()
                 self._entries[key] = entry
-                self._evict_over_capacity()
+                self._evict_over_capacity(delta)
         if not is_owner:
             return entry.result()
         try:
@@ -163,26 +183,34 @@ class SpecCache:
             raise
         return entry.result()
 
-    def peek(self, key: str | None):
+    def peek(self, key: str | None, delta: TierStats | None = None):
         """Non-building lookup: ``(hit, value)``; counts a hit or a miss.
 
         Only *completed* entries count as hits — an in-flight build from
         another thread is treated as a miss so the caller never blocks.
+        ``delta`` is the same per-caller counter :meth:`get_or_build`
+        takes.
         """
         if key is None or self.capacity == 0:
             with self._lock:
                 self.stats.misses += 1
+                if delta is not None:
+                    delta.misses += 1
             return False, None
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry.done() and entry.exception() is None:
                 self.stats.hits += 1
+                if delta is not None:
+                    delta.hits += 1
                 self._entries.move_to_end(key)
                 return True, entry.result()
             self.stats.misses += 1
+            if delta is not None:
+                delta.misses += 1
             return False, None
 
-    def put(self, key: str | None, value) -> None:
+    def put(self, key: str | None, value, delta: TierStats | None = None) -> None:
         """Insert a value built elsewhere (e.g. in a worker process)."""
         if key is None or self.capacity == 0:
             return
@@ -191,24 +219,30 @@ class SpecCache:
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            self._evict_over_capacity()
+            self._evict_over_capacity(delta)
 
-    def record_shared_hit(self) -> None:
+    def record_shared_hit(self, delta: TierStats | None = None) -> None:
         """Count a lookup served by sharing another request's in-batch build
         (keeps executor paths' accounting consistent with single-flight)."""
         with self._lock:
             self.stats.hits += 1
+            if delta is not None:
+                delta.hits += 1
 
-    def merge_stats(self, other: TierStats) -> None:
+    def merge_stats(self, other: TierStats, delta: TierStats | None = None) -> None:
         """Fold external counters in (worker processes), under the lock."""
         with self._lock:
             self.stats.merge(other)
+            if delta is not None:
+                delta.merge(other)
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self, delta: TierStats | None = None) -> None:
         # Caller holds the lock.
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if delta is not None:
+                delta.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are history)."""
@@ -226,6 +260,11 @@ class CacheStats:
 
     clips: TierStats
     results: TierStats
+
+    @classmethod
+    def zero(cls) -> "CacheStats":
+        """A fresh all-zero counter pair, ready to collect one batch's delta."""
+        return cls(clips=TierStats(), results=TierStats())
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(

@@ -92,7 +92,9 @@ class BatchResult:
         wall_time_s: measured wall-clock time of the whole batch.
         cache: the engine cache's hit/miss/eviction *delta* over this
             batch (clip and result tiers), including work done inside
-            process-executor workers.
+            process-executor workers.  Counted per batch — concurrent
+            batches sharing one cache (e.g. daemon connections) each
+            report only their own traffic.
         profile: the merged per-phase breakdown of every profiled result
             (``None`` unless the engine ran with ``profile=True``).
     """
@@ -344,14 +346,22 @@ class Engine:
         """This request's result-tier content address (``None`` = uncacheable)."""
         return self._epoch_key(result_key(self.spec, scenario, self._system_key))
 
-    def _serve(self, scenario: ScenarioSpec, clip=None) -> RunResult:
+    def _serve(
+        self,
+        scenario: ScenarioSpec,
+        clip=None,
+        cache_delta: CacheStats | None = None,
+        on_stats=None,
+    ) -> RunResult:
         """Run one scenario for real (no result memoization)."""
         if clip is None:
             clip = self.cache.clips.get_or_build(
                 self._epoch_key(clip_key(scenario)),
                 lambda: self._build_clip(scenario),
+                delta=None if cache_delta is None else cache_delta.clips,
             )
         runner, on_frame = self._build_runner(scenario, clip)
+        runner.on_stats = on_stats
         profiler = None
         if self.profile:
             profiler = PhaseProfiler()
@@ -365,13 +375,18 @@ class Engine:
             profile=None if profiler is None else profiler.snapshot(),
         )
 
-    def run(self, request, clip=None) -> RunResult:
+    def run(self, request, clip=None, cache_delta: CacheStats | None = None) -> RunResult:
         """Serve one request, through the result cache.
 
         Args:
             request: a :class:`ScenarioSpec` or its dict form.
             clip: pre-built source clip (bypasses both cache tiers; must
                 be the clip the request's source spec would build).
+            cache_delta: optional per-caller :class:`CacheStats`
+                accumulator; every cache lookup this request makes is
+                counted into it as well as the global stats, which is how
+                concurrent batches sharing one cache each report exactly
+                their own traffic.
 
         Returns:
             :class:`RunResult` with the request's stream ledger.  A
@@ -383,12 +398,49 @@ class Engine:
         """
         scenario = self._as_scenario(request)
         if clip is not None:
-            return self._serve(scenario, clip)
+            return self._serve(scenario, clip, cache_delta=cache_delta)
         if self.profile:
-            return self._serve(scenario)
+            return self._serve(scenario, cache_delta=cache_delta)
         return self.cache.results.get_or_build(
-            self.result_key_for(scenario), lambda: self._serve(scenario)
+            self.result_key_for(scenario),
+            lambda: self._serve(scenario, cache_delta=cache_delta),
+            delta=None if cache_delta is None else cache_delta.results,
         )
+
+    def run_streaming(
+        self,
+        request,
+        on_stats=None,
+        cache_delta: CacheStats | None = None,
+    ) -> RunResult:
+        """Serve one request, streaming each frame's ledger as it lands.
+
+        ``on_stats`` is invoked with every :class:`~repro.stream.FrameStats`
+        in stream order — live, while later frames are still computing, when
+        the request misses the result cache; as an instant replay of the
+        memoized ledger when it hits.  Either way the callback sees exactly
+        the rows the returned result carries, so a client reassembling the
+        stream gets a ledger bit-identical to the non-streaming response.
+
+        Unlike :meth:`run`, concurrent *misses* of one key do not
+        single-flight (each caller must observe its own live stream); the
+        winner's result still lands in the cache for later requests.
+        """
+        scenario = self._as_scenario(request)
+        if on_stats is None:
+            return self.run(scenario, cache_delta=cache_delta)
+        if self.profile:
+            return self._serve(scenario, cache_delta=cache_delta, on_stats=on_stats)
+        key = self.result_key_for(scenario)
+        delta = None if cache_delta is None else cache_delta.results
+        hit, value = self.cache.results.peek(key, delta=delta)
+        if hit:
+            for stats in value.outcome.frames:
+                on_stats(stats)
+            return value
+        result = self._serve(scenario, cache_delta=cache_delta, on_stats=on_stats)
+        self.cache.results.put(key, result, delta=delta)
+        return result
 
     def run_batch(
         self,
@@ -430,10 +482,14 @@ class Engine:
             name = executor if executor is not None else self.executor
             pool, owned = make_executor(name, workers), True
 
-        before = self.cache.stats()
+        # Per-batch collector, not a global before/after snapshot: the
+        # cache may be shared with other concurrently-running batches (a
+        # serving daemon's whole point), and this batch must report only
+        # its own hits/misses/evictions.
+        delta = CacheStats.zero()
         start = time.perf_counter()
         try:
-            results = pool.execute(self, scenarios)
+            results = pool.execute(self, scenarios, cache_delta=delta)
         finally:
             if owned:
                 pool.close()
@@ -444,6 +500,6 @@ class Engine:
             workers=pool.workers,
             executor=pool.name,
             wall_time_s=wall,
-            cache=self.cache.stats() - before,
+            cache=delta,
             profile=PhaseProfile.merge(profiles) if profiles else None,
         )

@@ -30,10 +30,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import get_context
+from threading import Lock
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
-    from .cache import EngineCache
+    from .cache import CacheStats, EngineCache
     from .engine import Engine, RunResult
     from .spec import ScenarioSpec, SystemSpec
 
@@ -59,9 +60,18 @@ class Executor:
         self.workers = workers
 
     def execute(
-        self, engine: "Engine", scenarios: Sequence["ScenarioSpec"]
+        self,
+        engine: "Engine",
+        scenarios: Sequence["ScenarioSpec"],
+        cache_delta: "CacheStats | None" = None,
     ) -> list["RunResult"]:
-        """Serve every scenario, returning results in request order."""
+        """Serve every scenario, returning results in request order.
+
+        ``cache_delta`` (when given) collects exactly this call's cache
+        traffic — executors must thread it into every lookup they make on
+        the engine's cache, so one warm cache can serve concurrent
+        ``execute`` calls and still attribute hits/misses per batch.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -82,8 +92,8 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def execute(self, engine, scenarios):
-        return [engine.run(s) for s in scenarios]
+    def execute(self, engine, scenarios, cache_delta=None):
+        return [engine.run(s, cache_delta=cache_delta) for s in scenarios]
 
 
 class ThreadExecutor(Executor):
@@ -91,7 +101,8 @@ class ThreadExecutor(Executor):
 
     Threads share the engine's cache directly, so identical in-flight
     requests single-flight through it; the pool persists across
-    :meth:`execute` calls.
+    :meth:`execute` calls, and concurrent ``execute`` calls (a serving
+    daemon's worker threads) share it safely.
     """
 
     name = "thread"
@@ -99,18 +110,24 @@ class ThreadExecutor(Executor):
     def __init__(self, workers: int = 1):
         super().__init__(workers)
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = Lock()
 
-    def execute(self, engine, scenarios):
+    def execute(self, engine, scenarios, cache_delta=None):
         if self.workers == 1 or len(scenarios) <= 1:
-            return [engine.run(s) for s in scenarios]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        return list(self._pool.map(engine.run, scenarios))
+            return [engine.run(s, cache_delta=cache_delta) for s in scenarios]
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            pool = self._pool
+        return list(
+            pool.map(lambda s: engine.run(s, cache_delta=cache_delta), scenarios)
+        )
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
 
 def _chunk_by_clip(
@@ -226,16 +243,21 @@ class ProcessExecutor(Executor):
     def __init__(self, workers: int = 1):
         super().__init__(workers)
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = Lock()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=get_context("spawn")
-            )
-        return self._pool
+        # Locked: a serving daemon's worker threads may race the first
+        # execute() call, and two lazily-created pools would leak one.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=get_context("spawn")
+                )
+            return self._pool
 
-    def execute(self, engine, scenarios):
+    def execute(self, engine, scenarios, cache_delta=None):
         results = [None] * len(scenarios)
+        result_delta = None if cache_delta is None else cache_delta.results
         # Parent-side memoization: serve hits here, dispatch each distinct
         # miss exactly once (duplicate requests share one work unit and
         # count as hits, matching the single-flight accounting of the
@@ -251,7 +273,7 @@ class ProcessExecutor(Executor):
             key = keys[index] if keys[index] is not None else ("solo", index)
             duplicates = pending.get(key)
             if duplicates is not None:
-                engine.cache.results.record_shared_hit()
+                engine.cache.results.record_shared_hit(result_delta)
                 duplicates.append(index)
                 continue
             if engine.profile:
@@ -260,7 +282,7 @@ class ProcessExecutor(Executor):
                 # BatchResult.cache must not depend on the executor.
                 pending[key] = [index]
                 continue
-            hit, value = engine.cache.results.peek(keys[index])
+            hit, value = engine.cache.results.peek(keys[index], delta=result_delta)
             if hit:
                 results[index] = value
             else:
@@ -281,7 +303,10 @@ class ProcessExecutor(Executor):
             ]
             for future in futures:
                 chunk_results, clip_stats = future.result()
-                engine.cache.clips.merge_stats(clip_stats)
+                engine.cache.clips.merge_stats(
+                    clip_stats,
+                    delta=None if cache_delta is None else cache_delta.clips,
+                )
                 for index, result in chunk_results:
                     key = keys[index] if keys[index] is not None else ("solo", index)
                     engine.cache.results.put(keys[index], result)
@@ -290,9 +315,10 @@ class ProcessExecutor(Executor):
         return results
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
 
 _EXECUTORS = {

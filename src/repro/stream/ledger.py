@@ -12,9 +12,23 @@ managed to run without any stage-1 work at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..core.pipeline import PipelineOutcome
+
+
+def _require(value: object, fieldname: str, kind: type, type_name: str):
+    # bool is an int subclass; an int field must still reject True/False,
+    # and a bool field must reject 0/1 — exact types keep round-trips exact.
+    if kind is float:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif kind is int:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:
+        ok = isinstance(value, kind)
+    if not ok:
+        raise ValueError(f"{fieldname}: expected {type_name}, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,38 @@ class FrameStats:
     def total_bytes(self) -> int:
         """All three flows for this frame (paper Eq. 1, per frame)."""
         return self.stage1_bytes + self.roi_feedback_bytes + self.stage2_bytes
+
+    # -- serialization (the serving protocol's per-frame payload) ---------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form; round-trips exactly through :meth:`from_dict`.
+
+        Every field is a JSON scalar (ints, bools, strings, one float), and
+        Python floats round-trip exactly through JSON text, so a frame row
+        that crosses a socket compares bit-equal to the one that was sent.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrameStats":
+        """Parse a :meth:`to_dict` payload; errors name the offending field."""
+        _require(data, "frame_stats", dict, "dict")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"frame_stats: unknown field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        missing = sorted(known - set(data))
+        if missing:
+            raise ValueError(f"frame_stats: missing field(s) {missing}")
+        kwargs = {}
+        for f in fields(cls):
+            kind = {"int": int, "bool": bool, "str": str, "float": float}[f.type]
+            value = _require(data[f.name], f"frame_stats.{f.name}", kind, f.type)
+            kwargs[f.name] = float(value) if kind is float else value
+        return cls(**kwargs)
 
 
 @dataclass
@@ -196,3 +242,50 @@ class StreamOutcome:
                 f"({self.wall_time_s * 1e3:.0f} ms wall)"
             )
         return "\n".join(lines)
+
+    # -- serialization (the serving protocol's whole-result payload) ------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form; round-trips exactly through :meth:`from_dict`.
+
+        ``outcomes`` (full per-frame :class:`PipelineOutcome` objects, kept
+        only under ``keep_outcomes=True``) hold live images and are
+        deliberately not serializable — the ledger rows are the wire
+        contract.  Serializing an outcome that kept them raises so a
+        caller never silently loses data.
+        """
+        if self.outcomes:
+            raise ValueError(
+                "stream_outcome.outcomes: full per-frame outcomes are not "
+                "serializable; run without keep_outcomes to send this "
+                "result over the wire"
+            )
+        return {
+            "system": self.system,
+            "frames": [f.to_dict() for f in self.frames],
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamOutcome":
+        """Parse a :meth:`to_dict` payload; errors name the offending field."""
+        _require(data, "stream_outcome", dict, "dict")
+        known = {"system", "frames", "wall_time_s"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"stream_outcome: unknown field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        system = _require(data.get("system", ""), "stream_outcome.system", str, "str")
+        rows = _require(
+            data.get("frames", []), "stream_outcome.frames", list, "a list of dicts"
+        )
+        wall = _require(
+            data.get("wall_time_s", 0.0), "stream_outcome.wall_time_s", float, "float"
+        )
+        return cls(
+            system=system,
+            frames=[FrameStats.from_dict(row) for row in rows],
+            wall_time_s=float(wall),
+        )

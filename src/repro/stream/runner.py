@@ -85,12 +85,18 @@ class StreamRunner:
         keep_outcomes: retain every full :class:`PipelineOutcome` on the
             stream outcome (costs memory; off by default so long streams
             stay ledger-sized).
+        on_stats: optional callback invoked with each frame's
+            :class:`~repro.stream.FrameStats` the moment it is recorded —
+            the hook the serving layer uses to stream ledgers to a client
+            while the run is still in flight.  Called in stream order, on
+            the thread driving the run.
     """
 
     pipeline: HiRISEPipeline | ConventionalPipeline
     reuse: TemporalROIReuse | None = None
     batch_size: int = 1
     keep_outcomes: bool = False
+    on_stats: Callable[[FrameStats], None] | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -161,6 +167,8 @@ class StreamRunner:
             idx, result, ran_stage1=ran_stage1, reused_rois=reused, reason=reason
         )
         stream.append(stats, result if self.keep_outcomes else None)
+        if self.on_stats is not None:
+            self.on_stats(stats)
 
     def _run_per_frame(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
         # The conventional baseline has no pooled-readout stage to count.

@@ -251,3 +251,115 @@ class TestSweepCLI:
         # zero compared predictions is absence of evidence, not agreement
         for row in payload["aggregates"]["comparisons"]:
             assert row["agreement"] is None
+
+
+class TestServingCLI:
+    """Argument handling for ``repro serve`` / ``repro request``.
+
+    Daemon behavior itself lives in tests/server/; these cover the CLI
+    layer — validation exits, probe flags, and the request round trip
+    against a directly started server.
+    """
+
+    SCENARIO = {
+        "source": {"name": "pedestrian", "params": {"resolution": [48, 36]}},
+        "n_frames": 3,
+        "seed": 7,
+        "name": "cli-serving",
+    }
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ReproServer
+
+        with ReproServer(
+            {"system": {"system": "hirise"}}, executor="serial"
+        ) as srv:
+            yield srv
+
+    def test_serve_rejects_invalid_workers(self, tmp_path, capsys):
+        spec = tmp_path / "svc.json"
+        spec.write_text(json.dumps({"scenarios": [self.SCENARIO]}))
+        assert main(["serve", str(spec), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_missing_spec_file_is_clean_error(self, capsys):
+        assert main(["serve", "no/such/spec.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_request_probe_flags_are_mutually_exclusive(self, capsys):
+        code = main(["request", "--port", "1", "--ping", "--stats"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_request_needs_scenario_or_probe(self, capsys):
+        assert main(["request", "--port", "1"]) == 2
+        assert "scenario file" in capsys.readouterr().err
+
+    def test_request_unreachable_daemon_exits_one(self, capsys):
+        code = main(["request", "--port", "1", "--ping"])
+        assert code == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_request_ping_and_stats_probes(self, server, capsys):
+        host, port = server.address
+        base = ["request", "--host", host, "--port", str(port)]
+        assert main(base + ["--ping"]) == 0
+        assert "pong" in capsys.readouterr().out
+        assert main(base + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "requests served: 0" in out
+        assert "cache[results]" in out
+
+    def test_request_runs_scenario_from_service_spec(
+        self, server, tmp_path, capsys
+    ):
+        host, port = server.address
+        spec = tmp_path / "svc.json"
+        spec.write_text(json.dumps(
+            {"scenarios": [dict(self.SCENARIO, seed=1), self.SCENARIO]}
+        ))
+        code = main([
+            "request", "--host", host, "--port", str(port),
+            str(spec), "--index", "1",
+        ])
+        assert code == 0
+        assert "cli-serving" in capsys.readouterr().out
+
+    def test_request_stream_prints_per_frame_lines(
+        self, server, tmp_path, capsys
+    ):
+        host, port = server.address
+        spec = tmp_path / "scenario.json"
+        spec.write_text(json.dumps(self.SCENARIO))
+        code = main([
+            "request", "--host", host, "--port", str(port),
+            str(spec), "--stream",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for idx in range(self.SCENARIO["n_frames"]):
+            assert f"frame {idx}:" in out
+
+    def test_request_bad_index_is_clean_error(self, server, tmp_path, capsys):
+        host, port = server.address
+        spec = tmp_path / "svc.json"
+        spec.write_text(json.dumps({"scenarios": [self.SCENARIO]}))
+        code = main([
+            "request", "--host", host, "--port", str(port),
+            str(spec), "--index", "5",
+        ])
+        assert code == 2
+        assert "--index 5 out of range" in capsys.readouterr().err
+
+    def test_request_invalid_scenario_is_clean_error(
+        self, server, tmp_path, capsys
+    ):
+        host, port = server.address
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"n_frames": 3, "label": "nope"}))
+        code = main([
+            "request", "--host", host, "--port", str(port), str(bad),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

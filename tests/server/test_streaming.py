@@ -1,0 +1,128 @@
+"""Streaming mode: per-frame ledgers over the socket reassemble exactly."""
+
+import threading
+
+import pytest
+
+from repro.server import ReproServer, RequestTimeoutError, ServerClient
+from repro.service import Engine, ScenarioSpec, SOURCES
+from repro.stream import FrameStats, StreamOutcome, pedestrian_clip
+
+SYSTEM = {"system": {"system": "hirise"}}
+
+
+def scenario(seed=0, n_frames=5, source="pedestrian"):
+    return ScenarioSpec.from_dict(
+        {
+            "source": {"name": source, "params": {"resolution": [48, 36]}},
+            "n_frames": n_frames,
+            "seed": seed,
+            "policy": {"name": "temporal-reuse", "params": {"max_reuse": 2}},
+            "name": f"stream-{seed}",
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(SYSTEM, workers=2, executor="thread") as srv:
+        yield srv
+
+
+class TestStreamingReassembly:
+    def test_stream_reassembles_equal_to_whole_result(self, server):
+        spec = scenario(seed=1)
+        with ServerClient(*server.address) as client:
+            streamed = client.run_streaming(spec)
+            whole = client.run(spec)
+        # The non-streaming reply serves the memoized result of the
+        # streamed run, so the reassembled StreamOutcome must equal it
+        # FULLY — frames, system, and even the recorded wall time.
+        assert streamed.outcome == whole.outcome
+        assert streamed.scenario == whole.scenario == spec
+
+    def test_streamed_rows_bit_identical_to_fresh_serial_engine(self, server):
+        spec = scenario(seed=2)
+        rows = []
+        with ServerClient(*server.address) as client:
+            result = client.run_streaming(spec, on_stats=rows.append)
+        fresh = Engine.from_spec(SYSTEM).run(spec)
+        assert rows == fresh.outcome.frames
+        assert result.outcome.frames == fresh.outcome.frames
+        assert result.outcome.system == fresh.outcome.system
+
+    def test_callback_sees_rows_live_and_in_order(self, server):
+        spec = scenario(seed=3, n_frames=6)
+        seen = []
+        with ServerClient(*server.address) as client:
+            result = client.run_streaming(spec, on_stats=seen.append)
+        assert [s.frame_index for s in seen] == list(range(6))
+        assert all(isinstance(s, FrameStats) for s in seen)
+        assert seen == result.outcome.frames
+
+    def test_cache_hit_replays_the_memoized_ledger(self, server):
+        spec = scenario(seed=4)
+        with ServerClient(*server.address) as client:
+            first = client.run_streaming(spec)
+            before = client.stats().cache["results"]
+            replay = client.run_streaming(spec)
+            after = client.stats().cache["results"]
+        assert replay.outcome == first.outcome
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_streaming_and_whole_modes_share_one_cache(self, server):
+        spec = scenario(seed=5)
+        with ServerClient(*server.address) as client:
+            whole = client.run(spec)  # miss: computes and memoizes
+            before = client.stats().cache["results"]
+            streamed = client.run_streaming(spec)  # hit: replays
+            after = client.stats().cache["results"]
+        assert streamed.outcome == whole.outcome
+        assert after["hits"] == before["hits"] + 1
+
+    def test_outcome_aggregates_survive_reassembly(self, server):
+        spec = scenario(seed=6)
+        with ServerClient(*server.address) as client:
+            streamed = client.run_streaming(spec)
+        fresh = Engine.from_spec(SYSTEM).run(spec)
+        got, want = streamed.outcome, fresh.outcome
+        assert isinstance(got, StreamOutcome)
+        assert got.total_bytes == want.total_bytes
+        assert got.total_energy_j == want.total_energy_j
+        assert got.stage1_frames == want.stage1_frames
+        assert got.reused_frames == want.reused_frames
+        assert got.peak_image_memory_bytes == want.peak_image_memory_bytes
+
+
+class TestStreamingFailureModes:
+    def test_timeout_mid_stream_leaves_connection_usable(self):
+        gate_release = threading.Event()
+        gate_started = threading.Event()
+
+        @SOURCES.register("stream-gated")
+        def build(n_frames, seed, **params):
+            gate_started.set()
+            assert gate_release.wait(timeout=30)
+            return pedestrian_clip(
+                n_frames=n_frames, resolution=(48, 36), seed=seed
+            )
+
+        try:
+            with ReproServer(SYSTEM, workers=1, executor="serial") as server:
+                with ServerClient(*server.address) as client:
+                    with pytest.raises(RequestTimeoutError):
+                        client.run_streaming(
+                            scenario(seed=7, source="stream-gated"),
+                            timeout_s=0.2,
+                        )
+                    assert gate_started.is_set()
+                    gate_release.set()
+                    # The daemon abandoned the stream: no stray FrameChunk
+                    # corrupts the next exchange on this connection.
+                    assert client.ping()
+                    fast = client.run_streaming(scenario(seed=8))
+                    assert fast.outcome.n_frames == 5
+        finally:
+            gate_release.set()
+            del SOURCES["stream-gated"]

@@ -1,0 +1,144 @@
+"""Per-batch cache-delta attribution under concurrency.
+
+``BatchResult.cache`` used to be a global before/after snapshot of the
+engine cache, which mis-attributed traffic whenever two batches shared
+one warm cache concurrently (exactly what daemon connections do).  These
+tests pin the fixed behavior: every batch reports **its own** lookups,
+no more, no less, even with another batch provably in flight.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import Engine, SOURCES, ScenarioSpec
+from repro.stream import pedestrian_clip
+
+SYSTEM = {"system": {"system": "hirise"}}
+
+
+def scenarios(source, seeds):
+    return [
+        ScenarioSpec.from_dict(
+            {
+                "source": {"name": source, "params": {}},
+                "n_frames": 3,
+                "seed": seed,
+                "name": f"delta-{seed}",
+            }
+        )
+        for seed in seeds
+    ]
+
+
+@pytest.fixture
+def rendezvous_source():
+    """A source that makes two concurrent batches meet mid-build.
+
+    The first build from EACH of two batches blocks on a 2-party barrier,
+    so both batches are provably inside their cache windows at once — the
+    exact interleaving where snapshot-based deltas double-count.
+    """
+    barrier = threading.Barrier(2, timeout=30)
+    name = "rendezvous-pedestrian"
+
+    @SOURCES.register(name)
+    def build(n_frames, seed, **params):
+        barrier.wait()
+        return pedestrian_clip(n_frames=n_frames, resolution=(48, 36), seed=seed)
+
+    yield name
+    del SOURCES[name]
+
+
+class TestConcurrentBatchAttribution:
+    def test_two_concurrent_batches_each_count_only_their_own(
+        self, rendezvous_source
+    ):
+        engine = Engine.from_spec(SYSTEM)
+        # Three builds per batch: a batch's builds can't all pair up among
+        # themselves at the 2-party barrier (odd count), so finishing a
+        # batch REQUIRES a build from the other batch to be in flight —
+        # the windows provably overlap, and 3+3 keeps the total even so
+        # every barrier wait is matched.
+        batch_a = scenarios(rendezvous_source, seeds=(1, 2, 3))
+        batch_b = scenarios(rendezvous_source, seeds=(11, 12, 13))
+        results = {}
+
+        def run(key, batch):
+            results[key] = engine.run_batch(batch, workers=2, executor="thread")
+
+        threads = [
+            threading.Thread(target=run, args=("a", batch_a)),
+            threading.Thread(target=run, args=("b", batch_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert sorted(results) == ["a", "b"]
+
+        # Every scenario is distinct and cold: each batch's delta must be
+        # exactly its own misses — a snapshot-based delta would count the
+        # other batch's overlapping traffic too.
+        a, b = results["a"].cache, results["b"].cache
+        assert (a.results.hits, a.results.misses) == (0, len(batch_a))
+        assert (b.results.hits, b.results.misses) == (0, len(batch_b))
+        assert (a.clips.hits, a.clips.misses) == (0, len(batch_a))
+        assert (b.clips.hits, b.clips.misses) == (0, len(batch_b))
+
+        # The per-batch deltas tile the global counters exactly.
+        total = engine.cache.stats()
+        assert total.results.misses == len(batch_a) + len(batch_b)
+        assert total.results.hits == 0
+        assert total.clips.misses == len(batch_a) + len(batch_b)
+
+    def test_concurrent_warm_batches_attribute_hits_per_batch(
+        self, rendezvous_source
+    ):
+        engine = Engine.from_spec(SYSTEM)
+        # Two cold scenarios rendezvous once to warm the cache...
+        warm = scenarios(rendezvous_source, seeds=(21, 22))
+        cold = {}
+
+        def prewarm(spec):
+            cold[spec.seed] = engine.run_batch([spec], executor="thread")
+
+        threads = [threading.Thread(target=prewarm, args=(s,)) for s in warm]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for spec in warm:
+            assert cold[spec.seed].cache.results.misses == 1
+
+        # ...then two warm batches replay them concurrently: all hits, and
+        # each batch claims exactly its own.  (Result-tier hits don't touch
+        # the clip tier at all — the memoized RunResult short-circuits.)
+        warm_results = {}
+
+        def replay(key, batch):
+            warm_results[key] = engine.run_batch(batch, workers=2, executor="thread")
+
+        threads = [
+            threading.Thread(target=replay, args=("a", [warm[0], warm[1]])),
+            threading.Thread(target=replay, args=("b", [warm[1], warm[0]])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for key in ("a", "b"):
+            delta = warm_results[key].cache
+            assert (delta.results.hits, delta.results.misses) == (2, 0)
+            assert delta.clips.lookups == 0
+
+    def test_single_batch_delta_unchanged_by_fix(self):
+        # The sequential case the old snapshot got right must stay right.
+        engine = Engine.from_spec(SYSTEM)
+        batch = scenarios("pedestrian", seeds=(31, 32))
+        first = engine.run_batch(batch, executor="serial")
+        assert (first.cache.results.hits, first.cache.results.misses) == (0, 2)
+        second = engine.run_batch(batch, executor="serial")
+        assert (second.cache.results.hits, second.cache.results.misses) == (2, 0)
+        assert second.cache.clips.lookups == 0

@@ -247,6 +247,99 @@ class TestFrameStats:
         assert stats.energy_j == outcome.energy.total
 
 
+class TestLedgerSerialization:
+    """Exact to_dict/from_dict/JSON round-trips (the serving payloads)."""
+
+    def run_stream(self, clip, **kwargs):
+        runner, on_frame = hirise_runner(clip, **kwargs)
+        return runner.run(clip.frames, on_frame=on_frame)
+
+    def test_frame_stats_round_trip_is_exact(self, clip):
+        stream = self.run_stream(clip)
+        for stats in stream.frames:
+            data = stats.to_dict()
+            assert FrameStats.from_dict(data) == stats
+            assert FrameStats.from_dict(data).to_dict() == data
+
+    def test_frame_stats_json_round_trip_is_exact(self, clip):
+        import json
+
+        stream = self.run_stream(clip)
+        for stats in stream.frames:
+            wire = json.dumps(stats.to_dict())
+            assert FrameStats.from_dict(json.loads(wire)) == stats
+
+    def test_outcome_round_trip_is_exact(self, clip):
+        import json
+
+        stream = self.run_stream(clip)
+        data = stream.to_dict()
+        rebuilt = StreamOutcome.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == stream
+        assert rebuilt.to_dict() == data
+
+    def test_validation_errors_name_the_field(self, clip):
+        stream = self.run_stream(clip)
+        data = stream.frames[0].to_dict()
+        bad = dict(data, energy_j="warm")
+        with pytest.raises(ValueError, match="frame_stats.energy_j"):
+            FrameStats.from_dict(bad)
+        with pytest.raises(ValueError, match=r"unknown field\(s\) \['surprise'\]"):
+            FrameStats.from_dict(dict(data, surprise=1))
+        missing = dict(data)
+        del missing["n_rois"]
+        with pytest.raises(ValueError, match=r"missing field\(s\) \['n_rois'\]"):
+            FrameStats.from_dict(missing)
+
+    def test_exact_types_reject_bool_int_impostors(self, clip):
+        data = self.run_stream(clip).frames[0].to_dict()
+        with pytest.raises(ValueError, match="frame_stats.ran_stage1"):
+            FrameStats.from_dict(dict(data, ran_stage1=1))
+        with pytest.raises(ValueError, match="frame_stats.n_rois"):
+            FrameStats.from_dict(dict(data, n_rois=True))
+        # ints are acceptable floats (JSON can render 1.0 as 1)...
+        assert FrameStats.from_dict(dict(data, energy_j=1)).energy_j == 1.0
+        # ...but bools are not.
+        with pytest.raises(ValueError, match="frame_stats.energy_j"):
+            FrameStats.from_dict(dict(data, energy_j=True))
+
+    def test_outcome_with_kept_outcomes_refuses_to_serialize(self, clip):
+        stream = self.run_stream(clip, keep_outcomes=True)
+        with pytest.raises(ValueError, match="keep_outcomes"):
+            stream.to_dict()
+
+
+class TestOnStatsHook:
+    def test_callback_fires_per_frame_in_stream_order(self, clip):
+        runner, on_frame = hirise_runner(clip)
+        seen = []
+        runner.on_stats = seen.append
+        stream = runner.run(clip.frames, on_frame=on_frame)
+        assert seen == stream.frames
+        assert [s.frame_index for s in seen] == list(range(len(clip)))
+
+    def test_callback_sees_rows_live(self, clip):
+        # Frame events interleave: stats(i) arrives before frame i+1 even
+        # starts — the hook streams mid-run, it does not replay at the end.
+        runner, on_frame = hirise_runner(clip)
+        events = []
+
+        def track_frame(idx):
+            events.append(("start", idx))
+            on_frame(idx)
+
+        runner.on_stats = lambda stats: events.append(("stats", stats.frame_index))
+        runner.run(clip.frames, on_frame=track_frame)
+        expected = [
+            e for i in range(len(clip)) for e in (("start", i), ("stats", i))
+        ]
+        assert events == expected
+
+    def test_no_callback_by_default(self, clip):
+        runner, _ = hirise_runner(clip)
+        assert runner.on_stats is None
+
+
 class TestStage2OnlyPath:
     def test_zero_stage1_accounting(self, clip):
         pipeline = HiRISEPipeline(config=HiRISEConfig(pool_k=4))
