@@ -28,6 +28,10 @@ and Selective ROI.  The package provides:
 * :mod:`repro.experiments` — declarative experiment sweeps
   (:class:`SweepSpec`/:class:`SweepRunner`) that regenerate the paper's
   figures/tables as deterministic JSON + markdown reports.
+* :mod:`repro.store` — the persistence subsystem: a crash-safe
+  content-addressed :class:`ArtifactStore` backing the engine cache's
+  disk tier (warm restarts), plus shared-memory clip transport for the
+  process executor.
 
 The most commonly used names are re-exported lazily at the top level so that
 ``import repro.analog`` does not pay for the ML stack and vice versa.
@@ -76,6 +80,8 @@ _EXPORTS = {
     "load_sweep": "repro.experiments",
     "run_sweep": "repro.experiments",
     "build_report": "repro.experiments",
+    "ArtifactStore": "repro.store",
+    "StoreStats": "repro.store",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

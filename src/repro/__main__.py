@@ -9,6 +9,9 @@ Commands:
   ``--stream``), or probe it (``--ping`` / ``--stats`` / ``--shutdown``);
 * ``sweep`` — run a declarative experiment sweep and emit its paper-style
   JSON + markdown report (``repro.experiments``);
+* ``cache`` — inspect or maintain an on-disk artifact store
+  (``stats`` / ``gc`` / ``clear``); ``run``/``serve``/``sweep`` attach
+  one via ``--store-dir`` so warm state survives restarts;
 * ``components`` — list every registered detector/classifier/source/policy;
 * ``experiments`` — list every reproducible paper artifact and its bench;
 * ``costs`` — evaluate the Table 1 cost model for one configuration;
@@ -23,17 +26,31 @@ import argparse
 import sys
 
 
+def _open_store(store_dir):
+    """Build the optional on-disk store behind ``--store-dir`` (or None)."""
+    if store_dir is None:
+        return None
+    from .store import ArtifactStore
+
+    return ArtifactStore(store_dir)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .service import Engine, SpecError
+    from .service import Engine, EngineCache, SpecError
 
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     try:
         engine = Engine.from_spec(args.spec)
+        store = _open_store(args.store_dir)
     except (SpecError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if store is not None:
+        # The engine is freshly built (nothing cached yet), so swapping in
+        # a store-backed cache is safe.
+        engine.cache = EngineCache(store=store)
     engine.profile = args.profile
     if not engine.scenarios:
         print(
@@ -73,12 +90,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
             request_timeout_s=args.timeout,
+            store=_open_store(args.store_dir),
         )
         server.start()
     except (SpecError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     host, port = server.address
+    if args.store_dir is not None:
+        print(f"store: {args.store_dir}", flush=True)
     # CI and scripts poll for this exact line as the readiness signal.
     print(f"serving {host}:{port} ({server.executor.name} executor x "
           f"{server.workers} worker(s), queue {args.queue_size})", flush=True)
@@ -127,9 +147,23 @@ def _cmd_request(args: argparse.Namespace) -> int:
                 print(f"queue depth    : {stats.queue_depth}")
                 print(f"draining       : {stats.draining}")
                 for tier, counters in stats.cache.items():
-                    print(f"cache[{tier}]: {counters['hits']} hit(s) / "
-                          f"{counters['misses']} miss(es), "
-                          f"{counters['evictions']} evicted")
+                    parts = []
+                    if "hits" in counters:
+                        parts.append(f"{counters['hits']} hit(s) / "
+                                     f"{counters.get('misses', 0)} miss(es)")
+                    if counters.get("disk_hits") or counters.get("disk_misses"):
+                        parts.append(f"disk {counters['disk_hits']} hit(s) / "
+                                     f"{counters['disk_misses']} miss(es)")
+                    if "writes" in counters:
+                        parts.append(f"{counters['writes']} write(s)")
+                    if "evictions" in counters:
+                        parts.append(f"{counters['evictions']} evicted")
+                    if "entries" in counters:
+                        entries = counters["entries"]
+                        parts.append(
+                            f"{entries} entr{'y' if entries == 1 else 'ies'}, "
+                            f"{counters.get('bytes', 0) / 1024:.1f} kB")
+                    print(f"cache[{tier}]: " + ", ".join(parts))
                 return 0
             if args.shutdown:
                 print(client.shutdown(drain=not args.no_drain))
@@ -200,7 +234,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     runner = SweepRunner(
-        spec, executor=args.executor, workers=args.workers, profile=args.profile
+        spec,
+        executor=args.executor,
+        workers=args.workers,
+        profile=args.profile,
+        store=_open_store(args.store_dir),
     )
     try:
         result = runner.run()
@@ -226,6 +264,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: trend check failed: {trend.name}: {trend.detail}",
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    try:
+        store = ArtifactStore(args.store_dir)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        print(store.snapshot().describe())
+        return 0
+    if args.action == "gc":
+        if args.max_bytes < 0:
+            print(f"error: --max-bytes must be >= 0, got {args.max_bytes}",
+                  file=sys.stderr)
+            return 2
+        removed, freed = store.gc(args.max_bytes)
+        print(f"gc: removed {removed} object(s), freed {freed / 1024:.1f} kB "
+              f"(budget {args.max_bytes} B)")
+        return 0
+    # clear
+    removed, freed = store.clear()
+    print(f"clear: removed {removed} object(s), freed {freed / 1024:.1f} kB")
     return 0
 
 
@@ -337,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(expose / stage1.read / detect / condition / stage2.read / "
         "stage2.classify); profiled requests always recompute",
     )
+    run.add_argument(
+        "--store-dir", default=None,
+        help="attach a persistent on-disk cache tier rooted here: previous "
+        "runs' clips and results are reused, this run's are persisted",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -367,6 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=None,
         help="default per-request deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None,
+        help="attach a persistent on-disk cache tier rooted here: a "
+        "restarted daemon serves what a previous one computed as pure "
+        "cache hits, bit-identical",
     )
 
     request = sub.add_parser(
@@ -439,6 +514,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect a per-phase wall-clock breakdown across every cell "
         "(profiled cells always recompute; never part of the artifacts)",
     )
+    sweep.add_argument(
+        "--store-dir", default=None,
+        help="attach a persistent on-disk cache tier rooted here: a "
+        "re-run sweep resumes from what previous runs computed",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="action", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print the store's entry counts, byte sizes, and counters"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used objects down to a byte budget"
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, required=True,
+        help="byte budget to collect down to (0 = remove everything)",
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every stored object"
+    )
+    for sub_cache in (cache_stats, cache_gc, cache_clear):
+        sub_cache.add_argument(
+            "--store-dir", required=True,
+            help="store root (the directory passed to run/serve/sweep)",
+        )
 
     sub.add_parser(
         "components", help="list registered detectors/classifiers/sources/policies"
@@ -478,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "request": _cmd_request,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
         "components": _cmd_components,
         "experiments": _cmd_experiments,
         "costs": _cmd_costs,

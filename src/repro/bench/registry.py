@@ -115,6 +115,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_sweep.py",
             ("repro.experiments", "repro.service", "repro.bench"),
         ),
+        Experiment(
+            "store",
+            "Ext. E",
+            "Persistent store: warm restarts replay bit-identical with zero disk misses; shm clip transport vs pickle (BENCH_store.json)",
+            "benchmarks/bench_store.py",
+            ("repro.store", "repro.service", "repro.server"),
+        ),
     )
 }
 

@@ -199,6 +199,10 @@ class SweepRunner:
             engine the sweep builds; pass
             :meth:`EngineCache.disabled() <repro.service.EngineCache.disabled>`
             to force every cell to recompute.
+        store: optional :class:`~repro.store.ArtifactStore` backing the
+            shared cache's persistent tier — re-running a sweep against
+            a populated store resumes from disk instead of recomputing
+            (ignored when an explicit ``cache`` is passed).
         profile: attach per-phase profiles to every record (profiled
             requests always recompute; see the engine contract).
     """
@@ -210,13 +214,14 @@ class SweepRunner:
         workers: int | None = None,
         cache: EngineCache | None = None,
         profile: bool = False,
+        store=None,
     ):
         self.spec = spec
         self.executor = executor if executor is not None else spec.executor
         self.workers = workers if workers is not None else spec.workers
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        self.cache = cache if cache is not None else EngineCache()
+        self.cache = cache if cache is not None else EngineCache(store=store)
         self.profile = profile
 
     def run(self) -> SweepResult:
@@ -322,8 +327,14 @@ def run_sweep(
     workers: int | None = None,
     cache: EngineCache | None = None,
     profile: bool = False,
+    store=None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
-        spec, executor=executor, workers=workers, cache=cache, profile=profile
+        spec,
+        executor=executor,
+        workers=workers,
+        cache=cache,
+        profile=profile,
+        store=store,
     ).run()

@@ -169,6 +169,12 @@ class ReproServer:
         request_timeout_s: default per-request deadline; a request's own
             ``timeout_s`` wins.  ``None`` = no deadline.
         max_frame_bytes: per-line protocol ceiling.
+        store: optional :class:`~repro.store.ArtifactStore` backing the
+            engine cache's persistent tier — a daemon restarted against
+            the same store root cold-starts into pure cache hits,
+            bit-identical to the run that populated it (ignored when
+            ``spec`` is an already-constructed engine, which brings its
+            own cache).
 
     Lifecycle: :meth:`start` binds and spawns the accept loop (the
     constructor does not touch the network); :meth:`shutdown` stops it —
@@ -186,6 +192,7 @@ class ReproServer:
         executor: str | Executor | None = None,
         request_timeout_s: float | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        store=None,
     ):
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
@@ -197,7 +204,7 @@ class ReproServer:
                 service = load_spec(spec)
             else:
                 service = coerce_service_spec(spec)
-            self.engine = Engine(service.system)
+            self.engine = Engine(service.system, store=store)
             default_executor, default_workers = service.executor, service.workers
         self.workers = workers if workers is not None else default_workers
         if self.workers < 1:
@@ -583,23 +590,45 @@ class ReproServer:
 
     def _stats_response(self, request_id: str) -> StatsResponse:
         stats = self.engine.cache.stats()
+        sizes = self.engine.cache.sizes()
         with self._served_lock:
             served = self._served
+        cache = {
+            "clips": {
+                "hits": stats.clips.hits,
+                "misses": stats.clips.misses,
+                "evictions": stats.clips.evictions,
+                "disk_hits": stats.clips.disk_hits,
+                "disk_misses": stats.clips.disk_misses,
+                "entries": sizes["clips"]["entries"],
+                "bytes": sizes["clips"]["bytes"],
+            },
+            "results": {
+                "hits": stats.results.hits,
+                "misses": stats.results.misses,
+                "evictions": stats.results.evictions,
+                "disk_hits": stats.results.disk_hits,
+                "disk_misses": stats.results.disk_misses,
+                "entries": sizes["results"]["entries"],
+                "bytes": sizes["results"]["bytes"],
+            },
+        }
+        store = getattr(self.engine.cache, "store", None)
+        if store is not None:
+            snap = store.snapshot()
+            cache["store"] = {
+                "entries": snap.entries,
+                "bytes": snap.bytes,
+                "hits": snap.hits,
+                "misses": snap.misses,
+                "writes": snap.writes,
+                "evictions": snap.evictions,
+                "errors": snap.errors,
+            }
         return StatsResponse(
             id=request_id,
             requests_served=served,
             queue_depth=self._queue.qsize(),
             draining=self._draining.is_set(),
-            cache={
-                "clips": {
-                    "hits": stats.clips.hits,
-                    "misses": stats.clips.misses,
-                    "evictions": stats.clips.evictions,
-                },
-                "results": {
-                    "hits": stats.results.hits,
-                    "misses": stats.results.misses,
-                    "evictions": stats.results.evictions,
-                },
-            },
+            cache=cache,
         )

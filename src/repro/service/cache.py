@@ -7,7 +7,8 @@ a *content address*: equal specs — however they were constructed, round-
 tripped, or loaded from disk — hash to the same key, and a key can never
 collide across genuinely different workloads.
 
-Two tiers, both capacity-bounded LRU with hit/miss/eviction accounting:
+Two in-memory tiers, both capacity-bounded LRU with hit/miss/eviction
+accounting:
 
 * **clip tier** — rendered :class:`~repro.stream.SyntheticClip` objects
   keyed by ``(source, n_frames, seed)``: everything that determines the
@@ -16,6 +17,16 @@ Two tiers, both capacity-bounded LRU with hit/miss/eviction accounting:
 * **result tier** — full :class:`~repro.service.RunResult` memoization
   keyed by ``(system, scenario)``: a repeated request is served without
   re-running anything, bit-identical to a fresh run.
+
+Plus an optional third, persistent tier: hand :class:`EngineCache` an
+:class:`~repro.store.ArtifactStore` and every in-memory miss falls
+through to disk before building, every disk hit is promoted back into
+memory, newly built values are written through, and LRU evictions spill
+down instead of vanishing.  The keys are already content addresses, so
+the disk tier is restart-safe by construction: a fresh process pointed
+at a populated store serves bit-identical values without recomputing
+anything (``disk_hits``/``disk_misses`` on :class:`TierStats` make that
+observable).
 
 Lookups are **single-flight**: concurrent requests for one key build the
 value once and share it, which is what makes the cache safe under the
@@ -27,11 +38,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pickle
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 from threading import Lock
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+from ..store.artifact import MISS as _STORE_MISS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.artifact import ArtifactStore
 
 
 def canonical_json(payload) -> str:
@@ -64,16 +81,25 @@ class TierStats:
     """One cache tier's counters (also used as immutable-ish snapshots).
 
     Attributes:
-        hits: lookups served from the cache (including waits on an
+        hits: lookups served from memory (including waits on an
             in-flight build of the same key).
-        misses: lookups that had to build the value (uncacheable keys
+        misses: lookups that left memory empty-handed (uncacheable keys
             count here too — they always build).
-        evictions: entries dropped to stay within capacity.
+        evictions: entries dropped from memory to stay within capacity
+            (spilled to the disk tier first when a store is attached).
+        disk_hits: memory misses served from the disk tier instead of
+            building (always 0 without a store).
+        disk_misses: memory misses that fell through the disk tier too
+            and really built the value (always 0 without a store — with
+            one, ``disk_misses == 0`` over a window proves nothing was
+            recomputed, the warm-restart invariant).
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,47 +111,96 @@ class TierStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "TierStats":
-        return TierStats(self.hits, self.misses, self.evictions)
+        return TierStats(
+            self.hits, self.misses, self.evictions, self.disk_hits, self.disk_misses
+        )
 
     def merge(self, other: "TierStats") -> None:
         """Fold another tier's counters in (e.g. a worker process's)."""
         self.hits += other.hits
         self.misses += other.misses
         self.evictions += other.evictions
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
 
     def __sub__(self, other: "TierStats") -> "TierStats":
         return TierStats(
             self.hits - other.hits,
             self.misses - other.misses,
             self.evictions - other.evictions,
+            self.disk_hits - other.disk_hits,
+            self.disk_misses - other.disk_misses,
         )
 
     def describe(self) -> str:
-        return f"{self.hits} hit(s) / {self.misses} miss(es), {self.evictions} evicted"
+        text = f"{self.hits} hit(s) / {self.misses} miss(es), {self.evictions} evicted"
+        if self.disk_hits or self.disk_misses:
+            text += f" (disk: {self.disk_hits} hit(s) / {self.disk_misses} miss(es))"
+        return text
+
+
+def clip_nbytes(value) -> int:
+    """Size of a cached clip: its frame buffers (``SyntheticClip.nbytes``)."""
+    return int(getattr(value, "nbytes", 0))
+
+
+def pickled_nbytes(value) -> int:
+    """Size of a cached result: its serialized form (0 if unpicklable)."""
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 - sizes are gauges, never errors
+        return 0
 
 
 class SpecCache:
     """A thread-safe, single-flight LRU keyed by spec fingerprints.
 
     Attributes:
-        kind: what the entries are ("clip", "result"), for reports.
-        capacity: maximum retained entries; 0 disables the tier (every
-            lookup builds, nothing is retained).
+        kind: what the entries are ("clip", "result"), for reports; also
+            the namespace the disk tier files this cache's objects under.
+        capacity: maximum retained in-memory entries; 0 disables the
+            whole tier — every lookup builds, nothing is retained and the
+            disk tier (if any) is neither read nor written, so a disabled
+            cache really recomputes (the measurement-run contract).
         stats: cumulative :class:`TierStats` for this tier.
+        store: optional :class:`~repro.store.ArtifactStore` third tier —
+            misses fall through to it, hits promote from it, builds write
+            through to it, and evictions spill down into it.
+        sizer: optional ``value -> bytes`` gauge; when set, the tier
+            tracks per-entry content sizes (surfaced by :meth:`sizes`).
     """
 
-    def __init__(self, kind: str, capacity: int):
+    def __init__(
+        self,
+        kind: str,
+        capacity: int,
+        store: "ArtifactStore | None" = None,
+        sizer: Callable[[object], int] | None = None,
+    ):
         if capacity < 0:
             raise ValueError(f"cache.{kind}_capacity: must be >= 0, got {capacity}")
         self.kind = kind
         self.capacity = capacity
         self.stats = TierStats()
+        self.store = store
+        self.sizer = sizer
         self._entries: "OrderedDict[str, Future]" = OrderedDict()
+        self._sizes: dict[str, int] = {}
         self._lock = Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def sizes(self) -> tuple[int, int]:
+        """``(entries, content_bytes)`` currently held in memory.
+
+        Bytes are per the tier's ``sizer`` (frame-buffer bytes for clips,
+        pickled bytes for results); entries still being built count 0
+        until they land.
+        """
+        with self._lock:
+            return len(self._entries), sum(self._sizes.values())
 
     def get_or_build(
         self,
@@ -170,26 +245,40 @@ class SpecCache:
                 is_owner = True
                 entry = Future()
                 self._entries[key] = entry
-                self._evict_over_capacity(delta)
+                spilled = self._evict_over_capacity(delta)
         if not is_owner:
             return entry.result()
-        try:
-            entry.set_result(build())
-        except BaseException as exc:
-            entry.set_exception(exc)
-            with self._lock:
-                if self._entries.get(key) is entry:
-                    del self._entries[key]
-            raise
+        self._spill(spilled)
+        # Owner path: the disk tier answers before anything recomputes.
+        value = self._load_from_store(key, delta)
+        built = value is _STORE_MISS
+        if built:
+            try:
+                value = build()
+            except BaseException as exc:
+                entry.set_exception(exc)
+                with self._lock:
+                    if self._entries.get(key) is entry:
+                        del self._entries[key]
+                raise
+        entry.set_result(value)
+        self._record_size(key, entry, value)
+        if built and self.store is not None:
+            # Write-through: everything ever built lands on disk, which is
+            # what makes the next process's cold start a pure-hit replay
+            # (and makes eviction spill a mere dedup check).
+            self.store.put(self.kind, key, value)
         return entry.result()
 
     def peek(self, key: str | None, delta: TierStats | None = None):
         """Non-building lookup: ``(hit, value)``; counts a hit or a miss.
 
-        Only *completed* entries count as hits — an in-flight build from
-        another thread is treated as a miss so the caller never blocks.
-        ``delta`` is the same per-caller counter :meth:`get_or_build`
-        takes.
+        Only *completed* entries count as memory hits — an in-flight build
+        from another thread is treated as a miss so the caller never
+        blocks.  A memory miss still falls through to the disk tier (a
+        disk hit promotes the value and returns it), so restart-warm
+        streaming replays never depend on RAM state.  ``delta`` is the
+        same per-caller counter :meth:`get_or_build` takes.
         """
         if key is None or self.capacity == 0:
             with self._lock:
@@ -208,18 +297,88 @@ class SpecCache:
             self.stats.misses += 1
             if delta is not None:
                 delta.misses += 1
-            return False, None
+        if self.store is not None:
+            value = self._load_from_store(key, delta)
+            if value is not _STORE_MISS:
+                self._insert(key, value, delta, spill=False)
+                return True, value
+        return False, None
 
     def put(self, key: str | None, value, delta: TierStats | None = None) -> None:
-        """Insert a value built elsewhere (e.g. in a worker process)."""
+        """Insert a value built elsewhere (e.g. in a worker process).
+
+        Write-through: with a store attached the value also lands on disk
+        (deduplicated by content address if it is already there).
+        """
         if key is None or self.capacity == 0:
             return
+        self._insert(key, value, delta, spill=True)
+
+    def get_cached(self, key: str | None, promote: bool = False):
+        """Quiet lookup: the value if already available, else ``None``.
+
+        Counts nothing — this is for transport/introspection paths (e.g.
+        the process executor deciding whether it *can* ship a rendered
+        clip) that must not distort per-batch accounting.  ``promote``
+        additionally consults the disk tier and promotes a hit into
+        memory (the store keeps its own counters either way).
+        """
+        if key is None or self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.done() and entry.exception() is None:
+                return entry.result()
+        if promote and self.store is not None:
+            value = self.store.load(self.kind, key)
+            if value is not _STORE_MISS:
+                self._insert(key, value, spill=False)
+                return value
+        return None
+
+    def _insert(
+        self,
+        key: str,
+        value,
+        delta: TierStats | None = None,
+        spill: bool = True,
+    ) -> None:
+        size = self.sizer(value) if self.sizer is not None else None
         entry = Future()
         entry.set_result(value)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            self._evict_over_capacity(delta)
+            if size is not None:
+                self._sizes[key] = size
+            spilled = self._evict_over_capacity(delta)
+        self._spill(spilled)
+        if spill and self.store is not None:
+            self.store.put(self.kind, key, value)
+
+    def _load_from_store(self, key: str, delta: TierStats | None):
+        """Disk-tier lookup with hit/miss accounting (``_STORE_MISS`` = miss)."""
+        if self.store is None:
+            return _STORE_MISS
+        value = self.store.load(self.kind, key)
+        with self._lock:
+            if value is _STORE_MISS:
+                self.stats.disk_misses += 1
+                if delta is not None:
+                    delta.disk_misses += 1
+            else:
+                self.stats.disk_hits += 1
+                if delta is not None:
+                    delta.disk_hits += 1
+        return value
+
+    def _record_size(self, key: str, entry: Future, value) -> None:
+        if self.sizer is None:
+            return
+        size = self.sizer(value)
+        with self._lock:
+            if self._entries.get(key) is entry:
+                self._sizes[key] = size
 
     def record_shared_hit(self, delta: TierStats | None = None) -> None:
         """Count a lookup served by sharing another request's in-batch build
@@ -236,18 +395,38 @@ class SpecCache:
             if delta is not None:
                 delta.merge(other)
 
-    def _evict_over_capacity(self, delta: TierStats | None = None) -> None:
-        # Caller holds the lock.
+    def _evict_over_capacity(self, delta: TierStats | None = None) -> list:
+        # Caller holds the lock.  Returns the evicted (key, value) pairs
+        # that must spill to the disk tier — spilling does pickle + file
+        # I/O, so it happens only after the lock is released.
+        spilled: list = []
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            key, entry = self._entries.popitem(last=False)
+            self._sizes.pop(key, None)
             self.stats.evictions += 1
             if delta is not None:
                 delta.evictions += 1
+            if (
+                self.store is not None
+                and entry.done()
+                and entry.exception() is None
+            ):
+                spilled.append((key, entry.result()))
+        return spilled
+
+    def _spill(self, spilled: list) -> None:
+        # store.put deduplicates by content address, so re-spilling a
+        # value that was already written through costs one contains().
+        for key, value in spilled:
+            self.store.put(self.kind, key, value)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept — they are history)."""
+        """Drop every in-memory entry (counters are kept — they are
+        history; the disk tier is untouched — ``repro cache clear`` owns
+        that)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
 
 
 @dataclass
@@ -288,11 +467,24 @@ class EngineCache:
     Capacities bound memory, not correctness: clips are the big entries
     (tens of MB each at video resolutions), results without
     ``keep_outcomes`` are ledger-sized.  Capacity 0 disables a tier.
+
+    Pass ``store`` to add the persistent third tier behind both: misses
+    fall through to it, disk hits promote into memory, builds write
+    through, evictions spill down.  Warm state then survives process
+    restarts — the whole point of ``repro serve --store-dir``.
     """
 
-    def __init__(self, clip_capacity: int = 8, result_capacity: int = 256):
-        self.clips = SpecCache("clip", clip_capacity)
-        self.results = SpecCache("result", result_capacity)
+    def __init__(
+        self,
+        clip_capacity: int = 8,
+        result_capacity: int = 256,
+        store: "ArtifactStore | None" = None,
+    ):
+        self.store = store
+        self.clips = SpecCache("clip", clip_capacity, store=store, sizer=clip_nbytes)
+        self.results = SpecCache(
+            "result", result_capacity, store=store, sizer=pickled_nbytes
+        )
 
     @classmethod
     def disabled(cls) -> "EngineCache":
@@ -304,6 +496,19 @@ class EngineCache:
         return CacheStats(
             clips=self.clips.stats.snapshot(), results=self.results.stats.snapshot()
         )
+
+    def sizes(self) -> dict:
+        """Per-tier in-memory occupancy: ``{tier: {"entries", "bytes"}}``.
+
+        Bytes are content sizes (frame buffers for clips, pickled size
+        for results), not Python object overhead — the numbers a capacity
+        decision actually needs.
+        """
+        out: dict = {}
+        for name, tier in (("clips", self.clips), ("results", self.results)):
+            entries, content = tier.sizes()
+            out[name] = {"entries": entries, "bytes": content}
+        return out
 
     def clear(self) -> None:
         self.clips.clear()

@@ -201,6 +201,10 @@ class Engine:
         cache: the clip/result cache (pass
             :meth:`EngineCache.disabled() <repro.service.EngineCache.disabled>`
             for measurement runs that must recompute everything).
+        store: optional :class:`~repro.store.ArtifactStore` backing the
+            cache's persistent third tier — shorthand for constructing
+            ``EngineCache(store=...)`` yourself (ignored when an explicit
+            ``cache`` is passed, which keeps its own store setting).
         profile: when true, every served request carries a
             :class:`~repro.core.PhaseProfile` on ``RunResult.profile``
             (and the merged breakdown on ``BatchResult.profile``).
@@ -216,6 +220,7 @@ class Engine:
         executor: str = "thread",
         cache: EngineCache | None = None,
         profile: bool = False,
+        store=None,
     ):
         self.spec = spec if spec is not None else SystemSpec()
         self.scenarios = tuple(scenarios)
@@ -226,7 +231,7 @@ class Engine:
                 f"known executors: {list(EXECUTOR_NAMES)}"
             )
         self.executor = executor
-        self.cache = cache if cache is not None else EngineCache()
+        self.cache = cache if cache is not None else EngineCache(store=store)
         self.profile = profile
         # The system never changes over the engine's lifetime: hash it once
         # so per-request keys only hash the scenario.

@@ -19,6 +19,16 @@ specs — and differ only in wall-clock behavior:
   worker (i.e. registered by :mod:`repro.service.components` or another
   imported module) — spawn does not inherit runtime registrations.
 
+  Clips the parent already holds (memory tier, or promoted from the disk
+  store) ride along with the work units so workers skip rendering: by
+  default over one ``multiprocessing.shared_memory`` segment per distinct
+  clip that every worker maps (:mod:`repro.store.shm`), falling back to
+  plain pickling for ragged clips; ``clip_transport`` / the
+  ``REPRO_CLIP_TRANSPORT`` env var select ``"shm"``, ``"pickle"``, or
+  ``"none"`` (render in the worker, the pre-store behavior).  When the
+  engine cache has a disk store attached, workers open the same store
+  root, so their renders and results persist too.
+
 Executors are selected by name (``EXECUTOR_NAMES``) via
 ``ServiceSpec.executor`` or ``repro run --executor``; pass a constructed
 instance to :meth:`Engine.run_batch` to reuse a warm pool across batches
@@ -27,6 +37,7 @@ instance to :meth:`Engine.run_batch` to reuse a warm pool across batches
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import get_context
@@ -34,12 +45,16 @@ from threading import Lock
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..store.shm import SharedClipLease
     from .cache import CacheStats, EngineCache
     from .engine import Engine, RunResult
     from .spec import ScenarioSpec, SystemSpec
 
 #: Executor names a spec/CLI can select, in documentation order.
 EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: How :class:`ProcessExecutor` ships parent-held clips to its workers.
+CLIP_TRANSPORTS = ("shm", "pickle", "none")
 
 
 class Executor:
@@ -173,13 +188,14 @@ def _chunk_by_clip(
 _WORKER_ENGINES: "OrderedDict[tuple, Engine]" = OrderedDict()
 _WORKER_ENGINE_LIMIT = 4
 
-#: One shared cache per cache policy, across every engine in this worker
-#: process.  Cache keys already fold the system fingerprint (results) or
-#: are system-agnostic by design (clips), so sharing is safe — and it is
-#: what lets a multi-system sweep over one workload reuse the rendered
-#: clip instead of re-rendering it per system (the parent-side engines
-#: share one EngineCache the same way).  Outlives engine eviction; each
-#: tier stays LRU-bounded by its own capacity.
+#: One shared cache per cache policy (capacities + store root), across
+#: every engine in this worker process.  Cache keys already fold the
+#: system fingerprint (results) or are system-agnostic by design (clips),
+#: so sharing is safe — and it is what lets a multi-system sweep over one
+#: workload reuse the rendered clip instead of re-rendering it per system
+#: (the parent-side engines share one EngineCache the same way).
+#: Outlives engine eviction; each tier stays LRU-bounded by its own
+#: capacity.
 _WORKER_CACHES: dict[tuple, "EngineCache"] = {}
 
 
@@ -188,6 +204,8 @@ def _run_chunk(
     items: list[tuple[int, "ScenarioSpec"]],
     cache_capacities: tuple[int, int],
     profile: bool = False,
+    clips: dict | None = None,
+    store_dir: str | None = None,
 ):
     """Worker entry point: serve one chunk against a per-process engine.
 
@@ -201,17 +219,33 @@ def _run_chunk(
     pickle with the results).  Returns the indexed results plus the
     chunk's clip-tier stats delta, so the parent's accounting covers work
     done here.
+
+    ``clips`` maps raw clip keys to parent-shipped payloads —
+    ``("shm", SharedClipHandle)`` or ``("pickle", SyntheticClip)`` —
+    seeded into the worker's clip tier before serving, so the worker
+    reuses the parent's rendered frames instead of rebuilding them (a
+    vanished shared segment just falls back to rendering).  ``store_dir``
+    points the worker at the parent's on-disk store so its own renders
+    and results persist too.
     """
     from .cache import EngineCache, spec_fingerprint
     from .engine import Engine
 
+    cache_key = (cache_capacities, store_dir)
     clip_capacity, result_capacity = cache_capacities
-    cache = _WORKER_CACHES.get(cache_capacities)
+    cache = _WORKER_CACHES.get(cache_key)
     if cache is None:
-        cache = _WORKER_CACHES[cache_capacities] = EngineCache(
-            clip_capacity=clip_capacity, result_capacity=result_capacity
+        store = None
+        if store_dir is not None:
+            from ..store.artifact import ArtifactStore
+
+            store = ArtifactStore(store_dir)
+        cache = _WORKER_CACHES[cache_key] = EngineCache(
+            clip_capacity=clip_capacity,
+            result_capacity=result_capacity,
+            store=store,
         )
-    key = (spec_fingerprint(system.to_dict()) or repr(system), cache_capacities)
+    key = (spec_fingerprint(system.to_dict()) or repr(system), cache_key)
     engine = _WORKER_ENGINES.get(key)
     if engine is None:
         engine = _WORKER_ENGINES[key] = Engine(system, cache=cache)
@@ -219,6 +253,19 @@ def _run_chunk(
     while len(_WORKER_ENGINES) > _WORKER_ENGINE_LIMIT:
         _WORKER_ENGINES.popitem(last=False)
     engine.profile = profile
+    if clips:
+        from ..store.shm import attach_clip
+
+        for raw_key, (transport, payload) in clips.items():
+            epoch_key = engine._epoch_key(raw_key)
+            if engine.cache.clips.get_cached(epoch_key) is not None:
+                continue
+            if transport == "shm":
+                try:
+                    payload = attach_clip(payload)
+                except (OSError, ValueError):
+                    continue  # segment gone or mangled: render it ourselves
+            engine.cache.clips.put(epoch_key, payload)
     before = engine.cache.clips.stats.snapshot()
     results = [(index, engine.run(scenario)) for index, scenario in items]
     return results, engine.cache.clips.stats - before
@@ -236,12 +283,35 @@ class ProcessExecutor(Executor):
     The parent serves result-cache hits locally and dispatches only the
     deduplicated misses; worker clip-tier stats are folded back into the
     engine's cache accounting.
+
+    Clips the parent already holds ship with the work units instead of
+    being re-rendered in the worker.  ``clip_transport`` picks how:
+
+    * ``"shm"`` (default) — one shared-memory segment per distinct clip;
+      every worker maps the same pages, refcounted by a
+      :class:`~repro.store.SharedClipLease` so the segment is unlinked
+      exactly when the last dispatched chunk completes (or on any
+      failure path).  Ragged clips fall back to pickling per clip.
+    * ``"pickle"`` — the clip is pickled into each work unit (one copy
+      per chunk); the comparison baseline ``bench_store`` races.
+    * ``"none"`` — ship nothing; workers render from specs (the
+      pre-store behavior).
+
+    The default comes from ``REPRO_CLIP_TRANSPORT`` when set.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, clip_transport: str | None = None):
         super().__init__(workers)
+        if clip_transport is None:
+            clip_transport = os.environ.get("REPRO_CLIP_TRANSPORT") or "shm"
+        if clip_transport not in CLIP_TRANSPORTS:
+            raise ValueError(
+                f"clip_transport: unknown transport {clip_transport!r}; "
+                f"known transports: {list(CLIP_TRANSPORTS)}"
+            )
+        self.clip_transport = clip_transport
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = Lock()
 
@@ -294,25 +364,93 @@ class ProcessExecutor(Executor):
                 engine.cache.clips.capacity,
                 engine.cache.results.capacity,
             )
+            store = getattr(engine.cache, "store", None)
+            store_dir = None if store is None else str(store.root)
             pool = self._ensure_pool()
-            futures = [
-                pool.submit(
-                    _run_chunk, engine.spec, chunk, capacities, engine.profile
-                )
-                for chunk in _chunk_by_clip(unique, self.workers)
-            ]
-            for future in futures:
-                chunk_results, clip_stats = future.result()
-                engine.cache.clips.merge_stats(
-                    clip_stats,
-                    delta=None if cache_delta is None else cache_delta.clips,
-                )
-                for index, result in chunk_results:
-                    key = keys[index] if keys[index] is not None else ("solo", index)
-                    engine.cache.results.put(keys[index], result)
-                    for duplicate in pending[key]:
-                        results[duplicate] = result
+            # One lease per distinct shared clip, acquired once per chunk
+            # it rides in and released as that chunk's future completes;
+            # the finally-destroy covers every failure path, so no
+            # /dev/shm segment can outlive this call.
+            leases: "dict[str, SharedClipLease]" = {}
+            dispatched: list = []
+            try:
+                for chunk in _chunk_by_clip(unique, self.workers):
+                    clips, chunk_leases = self._collect_clips(engine, chunk, leases)
+                    dispatched.append(
+                        (
+                            pool.submit(
+                                _run_chunk,
+                                engine.spec,
+                                chunk,
+                                capacities,
+                                engine.profile,
+                                clips,
+                                store_dir,
+                            ),
+                            chunk_leases,
+                        )
+                    )
+                for future, chunk_leases in dispatched:
+                    try:
+                        chunk_results, clip_stats = future.result()
+                    finally:
+                        for lease in chunk_leases:
+                            lease.release()
+                    engine.cache.clips.merge_stats(
+                        clip_stats,
+                        delta=None if cache_delta is None else cache_delta.clips,
+                    )
+                    for index, result in chunk_results:
+                        key = keys[index] if keys[index] is not None else ("solo", index)
+                        engine.cache.results.put(keys[index], result)
+                        for duplicate in pending[key]:
+                            results[duplicate] = result
+            finally:
+                for lease in leases.values():
+                    lease.destroy()
         return results
+
+    def _collect_clips(self, engine, chunk, leases):
+        """Gather the clips this chunk needs that the parent already has.
+
+        Returns ``(clips, chunk_leases)``: a raw-clip-key -> payload dict
+        for :func:`_run_chunk` (``None`` when there is nothing to ship)
+        plus the shared-memory leases acquired on the chunk's behalf.
+        Only clips already available to the parent — in the memory tier,
+        or promoted from the disk store — are shipped; anything else the
+        worker renders itself, exactly as before.
+        """
+        if self.clip_transport == "none":
+            return None, []
+        from .cache import clip_key
+
+        clips: dict = {}
+        chunk_leases: list = []
+        for _, scenario in chunk:
+            raw_key = clip_key(scenario)
+            if raw_key is None or raw_key in clips:
+                continue
+            clip = engine.cache.clips.get_cached(
+                engine._epoch_key(raw_key), promote=True
+            )
+            if clip is None:
+                continue
+            if self.clip_transport == "shm":
+                lease = leases.get(raw_key)
+                if lease is None:
+                    from ..store.shm import share_clip
+
+                    lease = share_clip(clip)
+                    if lease is not None:
+                        leases[raw_key] = lease
+                if lease is not None:
+                    clips[raw_key] = ("shm", lease.handle)
+                    chunk_leases.append(lease.acquire())
+                    continue
+                # Ragged/empty clip or no shared memory on this platform:
+                # fall through to pickling it into the work unit.
+            clips[raw_key] = ("pickle", clip)
+        return (clips or None), chunk_leases
 
     def close(self):
         with self._pool_lock:

@@ -1,0 +1,37 @@
+"""repro.store — the persistence subsystem behind the engine cache.
+
+Two pieces, both keyed by the same content addresses the in-memory
+:class:`~repro.service.EngineCache` already uses (SHA-256 of canonical
+spec JSON):
+
+* :class:`ArtifactStore` — a crash-safe, content-addressed on-disk object
+  store (atomic writes, verified versioned headers, byte-budget LRU GC)
+  that serves as the cache's third tier: warm state survives restarts, a
+  ``repro serve --store-dir`` daemon cold-starts into pure cache hits,
+  and sweeps resume for free.
+* shared-memory clip transport (:func:`share_clip` / :func:`attach_clip`)
+  — the process executor's zero-copy dispatch path: one shared segment
+  holds a clip's contiguous frame block, N workers map it instead of
+  receiving N pickled copies, with refcounted lifetime management
+  (:class:`SharedClipLease`) and a pickle fallback for ragged clips.
+"""
+
+from .artifact import MISS, ArtifactStore, StoreStats
+from .shm import (
+    SEGMENT_PREFIX,
+    SharedClipHandle,
+    SharedClipLease,
+    attach_clip,
+    share_clip,
+)
+
+__all__ = [
+    "MISS",
+    "ArtifactStore",
+    "StoreStats",
+    "SEGMENT_PREFIX",
+    "SharedClipHandle",
+    "SharedClipLease",
+    "attach_clip",
+    "share_clip",
+]

@@ -78,7 +78,7 @@ class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8",
-            "stream", "service", "hotpath", "sweep", "serving",
+            "stream", "service", "hotpath", "sweep", "serving", "store",
         }
 
     def test_benches_exist_on_disk(self):

@@ -363,3 +363,145 @@ class TestServingCLI:
         ])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCacheCLI:
+    """``repro cache`` and the ``--store-dir`` flag across subcommands."""
+
+    SCENARIO = {
+        "source": {"name": "pedestrian", "params": {"resolution": [48, 36]}},
+        "n_frames": 3,
+        "seed": 7,
+        "name": "cli-store",
+    }
+
+    def service_spec(self, tmp_path) -> str:
+        spec = tmp_path / "svc.json"
+        spec.write_text(json.dumps({"scenarios": [self.SCENARIO]}))
+        return str(spec)
+
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--store-dir", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 object(s)" in out
+        assert "empty" in out
+
+    def test_run_populates_store_and_restart_replays(self, tmp_path, capsys):
+        spec = self.service_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store-dir", store]) == 0
+        cold = capsys.readouterr().out
+
+        assert main(["cache", "stats", "--store-dir", store]) == 0
+        stats = capsys.readouterr().out
+        assert "clip: 1 entry" in stats
+        assert "result: 1 entry" in stats
+
+        # A second CLI invocation (fresh process state, same root) serves
+        # the same report from disk.
+        assert main(["run", spec, "--store-dir", store]) == 0
+        warm = capsys.readouterr().out
+
+        def reports(text):
+            return [l for l in text.splitlines() if "cli-store" in l]
+
+        assert reports(warm) == reports(cold)
+
+    def test_gc_to_zero_budget_clears(self, tmp_path, capsys):
+        spec = self.service_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--store-dir", store, "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 object(s)" in out
+        assert main(["cache", "stats", "--store-dir", store]) == 0
+        assert "0 object(s)" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        spec = self.service_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["run", spec, "--store-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--store-dir", store]) == 0
+        assert "removed 2 object(s)" in capsys.readouterr().out
+
+    def test_gc_negative_budget_is_clean_error(self, tmp_path, capsys):
+        code = main([
+            "cache", "gc", "--store-dir", str(tmp_path / "store"),
+            "--max-bytes", "-5",
+        ])
+        assert code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_cache_requires_action_and_store_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "gc", "--store-dir", "x"])
+
+    def test_store_dir_flag_parses_on_run_serve_sweep(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "spec.json", "--store-dir", "s"],
+            ["serve", "spec.json", "--store-dir", "s"],
+            ["sweep", "sweep.json", "--store-dir", "s"],
+        ):
+            assert parser.parse_args(argv).store_dir == "s"
+
+    def test_request_stats_reports_store_tier(self, tmp_path, capsys):
+        from repro.server import ReproServer
+        from repro.store import ArtifactStore
+
+        spec = self.service_spec(tmp_path)
+        store_dir = tmp_path / "store"
+        with ReproServer(
+            {"system": {"system": "hirise"}},
+            executor="serial",
+            store=ArtifactStore(store_dir),
+        ) as server:
+            host, port = server.address
+            base = ["request", "--host", host, "--port", str(port)]
+            assert main(base + [spec]) == 0
+            capsys.readouterr()
+            assert main(base + ["--stats"]) == 0
+            out = capsys.readouterr().out
+        assert "cache[store]" in out
+        assert "write(s)" in out
+        # per-tier occupancy: entries + byte sizes surface over the wire
+        assert "cache[results]" in out
+        assert "entry" in out
+        assert "kB" in out
+
+    def test_request_stats_shows_disk_hits_after_restart(self, tmp_path, capsys):
+        from repro.server import ReproServer
+        from repro.store import ArtifactStore
+
+        spec = self.service_spec(tmp_path)
+        store_dir = tmp_path / "store"
+        with ReproServer(
+            {"system": {"system": "hirise"}},
+            executor="serial",
+            store=ArtifactStore(store_dir),
+        ) as server:
+            host, port = server.address
+            assert main(
+                ["request", "--host", host, "--port", str(port), spec]
+            ) == 0
+        capsys.readouterr()
+
+        with ReproServer(
+            {"system": {"system": "hirise"}},
+            executor="serial",
+            store=ArtifactStore(store_dir),
+        ) as server:
+            host, port = server.address
+            base = ["request", "--host", host, "--port", str(port)]
+            assert main(base + [spec]) == 0
+            capsys.readouterr()
+            assert main(base + ["--stats"]) == 0
+            out = capsys.readouterr().out
+        assert "disk 1 hit(s) / 0 miss(es)" in out

@@ -1,0 +1,294 @@
+"""Tests for the ArtifactStore: crash-safety, verification, LRU GC."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.store import MISS, ArtifactStore
+from repro.store.artifact import MAGIC_LINE, _filename
+
+
+def store_files(store: ArtifactStore) -> list:
+    objects = store.root / "objects"
+    if not objects.is_dir():
+        return []
+    return sorted(p for p in objects.rglob("*") if p.is_file())
+
+
+class TestRoundTrip:
+    def test_put_load_bit_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        value = {"frames": np.arange(24.0).reshape(2, 3, 4), "label": "x"}
+        written = store.put("result", "k" * 64, value)
+        assert written > 0
+        loaded = store.load("result", "k" * 64)
+        assert loaded is not MISS
+        assert loaded["label"] == "x"
+        assert np.array_equal(loaded["frames"], value["frames"])
+
+    def test_absent_key_is_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.load("result", "nope") is MISS
+        assert store.snapshot().misses == 1
+        assert store.snapshot().errors == 0
+
+    def test_put_is_deduplicated_by_key(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.put("clip", "abc", [1, 2, 3]) > 0
+        assert store.put("clip", "abc", [1, 2, 3]) == 0
+        assert store.snapshot().writes == 1
+
+    def test_unpicklable_value_is_uncacheable_not_an_error(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.put("clip", "fn", lambda: None) == 0
+        assert store.load("clip", "fn") is MISS
+
+    def test_contains(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "abc", 1)
+        assert store.contains("clip", "abc")
+        assert not store.contains("clip", "other")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for index in range(4):
+            store.put("clip", f"key{index}", list(range(index)))
+        leftovers = [p for p in store.root.rglob(".tmp-*")]
+        assert leftovers == []
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "same-key", "a clip")
+        store.put("result", "same-key", "a result")
+        assert store.load("clip", "same-key") == "a clip"
+        assert store.load("result", "same-key") == "a result"
+
+    def test_unsafe_keys_get_hashed_filenames(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = "spaces and/slashes!"
+        store.put("clip", key, 7)
+        assert store.load("clip", key) == 7
+        name = _filename(key)
+        assert name.startswith("h_")
+        # Engine-style "<sha>:<epoch>" keys stay readable on disk.
+        assert _filename("ab12:0") == "ab12_0"
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactStore(tmp_path / "store", max_bytes=-1)
+
+
+class TestCorruptionDegradesToMiss:
+    """The headline contract: a damaged store is slow, never broken."""
+
+    def put_one(self, tmp_path, value="payload"):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("result", "thekey", value)
+        return store, store._path("result", "thekey")
+
+    def assert_quarantined(self, store, path):
+        assert store.load("result", "thekey") is MISS
+        stats = store.snapshot()
+        assert stats.errors == 1
+        assert stats.misses == 1
+        assert not path.exists()  # cannot fail twice
+        assert store.load("result", "thekey") is MISS
+        assert store.snapshot().errors == 1  # plain miss, not a new error
+
+    def test_truncated_payload(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        path.write_bytes(path.read_bytes()[:-3])
+        self.assert_quarantined(store, path)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        self.assert_quarantined(store, path)
+
+    def test_bad_magic_or_version(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(b"repro-store v9\n" + blob[len(MAGIC_LINE) :])
+        self.assert_quarantined(store, path)
+
+    def test_garbage_file(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        path.write_bytes(b"\x00" * 100)
+        self.assert_quarantined(store, path)
+
+    def test_empty_file(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        path.write_bytes(b"")
+        self.assert_quarantined(store, path)
+
+    def test_key_mismatch_after_file_rename(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        wrong = store._path("result", "otherkey")
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(wrong)
+        assert store.load("result", "otherkey") is MISS
+        assert store.snapshot().errors == 1
+
+    def test_corrupt_pickle_with_valid_header(self, tmp_path):
+        store, path = self.put_one(tmp_path)
+        import hashlib
+
+        payload = b"not a pickle"
+        meta = {
+            "kind": "result",
+            "key": "thekey",
+            "codec": "pickle",
+            "payload_bytes": len(payload),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        }
+        path.write_bytes(
+            MAGIC_LINE
+            + json.dumps(meta, sort_keys=True).encode() + b"\n"
+            + payload
+        )
+        self.assert_quarantined(store, path)
+
+
+class TestGC:
+    def sized_value(self, tag: str) -> bytes:
+        return (tag.encode() * 300)[:1200]
+
+    def test_lru_eviction_to_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for tag in ("a", "b", "c"):
+            store.put("clip", tag, self.sized_value(tag))
+        # Touch "a" so "b" is now the least recently used.
+        assert store.load("clip", "a") is not MISS
+        one_entry = store.snapshot().bytes // 3
+        removed, freed = store.gc(max_bytes=2 * one_entry)
+        assert removed == 1
+        assert freed > 0
+        assert store.load("clip", "b") is MISS
+        assert store.load("clip", "a") is not MISS
+        assert store.load("clip", "c") is not MISS
+        assert store.snapshot().evictions == 1
+
+    def test_budget_enforced_on_put_protects_newest(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=1)
+        # Budget smaller than one object: the object just written survives
+        # its own put, so an oversized value still round-trips.
+        store.put("clip", "big", self.sized_value("x"))
+        assert store.load("clip", "big") is not MISS
+        store.put("clip", "next", self.sized_value("y"))
+        assert store.load("clip", "big") is MISS
+        assert store.load("clip", "next") is not MISS
+
+    def test_gc_without_budget_is_noop(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "a", 1)
+        assert store.gc() == (0, 0)
+        assert store.load("clip", "a") == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "a", 1)
+        store.put("result", "b", 2)
+        removed, freed = store.clear()
+        assert removed == 2
+        assert freed > 0
+        assert store.snapshot().entries == 0
+        assert store_files(store) == []
+
+    def test_recency_survives_restart(self, tmp_path):
+        first = ArtifactStore(tmp_path / "store")
+        for tag in ("a", "b", "c"):
+            first.put("clip", tag, self.sized_value(tag))
+        assert first.load("clip", "a") is not MISS  # "b" is now LRU
+        first.flush()
+
+        second = ArtifactStore(tmp_path / "store")
+        one_entry = second.snapshot().bytes // 3
+        second.gc(max_bytes=2 * one_entry)
+        assert second.load("clip", "b") is MISS
+        assert second.load("clip", "a") is not MISS
+
+
+class TestIndex:
+    def test_lost_index_is_rebuilt_from_tree(self, tmp_path):
+        first = ArtifactStore(tmp_path / "store")
+        first.put("clip", "a", [1])
+        first.put("result", "b", [2])
+        (tmp_path / "store" / "index.json").unlink()
+
+        second = ArtifactStore(tmp_path / "store")
+        snap = second.snapshot()
+        assert snap.entries == 2
+        assert second.load("clip", "a") == [1]
+        assert second.load("result", "b") == [2]
+
+    def test_corrupt_index_is_rebuilt(self, tmp_path):
+        first = ArtifactStore(tmp_path / "store")
+        first.put("clip", "a", [1])
+        (tmp_path / "store" / "index.json").write_text("{not json")
+        second = ArtifactStore(tmp_path / "store")
+        assert second.snapshot().entries == 1
+        assert second.load("clip", "a") == [1]
+
+    def test_foreign_files_adopted_on_scan(self, tmp_path):
+        first = ArtifactStore(tmp_path / "store")
+        first.put("clip", "a", [1])
+        # A second process writes to the same root behind our back.
+        other = ArtifactStore(tmp_path / "store")
+        other.put("clip", "b", [2])
+        snap = first.snapshot()  # reconciles against the tree
+        assert snap.entries == 2
+        assert first.load("clip", "b") == [2]
+
+    def test_deleted_files_forgotten_on_scan(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "a", [1])
+        store._path("clip", "a").unlink()
+        assert store.snapshot().entries == 0
+
+    def test_snapshot_by_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("clip", "a", [1])
+        store.put("clip", "b", [2])
+        store.put("result", "c", [3])
+        by_kind = store.snapshot().by_kind
+        assert by_kind["clip"]["entries"] == 2
+        assert by_kind["result"]["entries"] == 1
+        assert by_kind["clip"]["bytes"] > 0
+
+    def test_describe_mentions_kinds_and_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert "empty" in store.snapshot().describe()
+        store.put("clip", "a", [1])
+        store.load("clip", "a")
+        text = store.snapshot().describe()
+        assert "clip: 1 entry" in text
+        assert "1 hit(s)" in text
+        assert "1 write(s)" in text
+
+
+class TestConcurrency:
+    def test_single_flight_concurrent_puts(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = ArtifactStore(tmp_path / "store")
+        value = list(range(1000))
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            sizes = list(
+                pool.map(lambda _: store.put("clip", "one", value), range(16))
+            )
+        assert sum(1 for s in sizes if s > 0) == 1
+        assert store.snapshot().writes == 1
+        assert store.load("clip", "one") == value
+
+    def test_two_handles_one_root(self, tmp_path):
+        a = ArtifactStore(tmp_path / "store")
+        b = ArtifactStore(tmp_path / "store")
+        a.put("clip", "k", {"x": 1})
+        assert b.load("clip", "k") == {"x": 1}
+        b.snapshot()  # reconcile: adopt a's file into b's index
+        # Content addressing: b "rewriting" the same key is a dedup no-op.
+        assert b.put("clip", "k", {"x": 1}) == 0
