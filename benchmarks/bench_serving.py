@@ -91,7 +91,7 @@ def drive(address, scenarios, n_requests, n_clients):
                     result = client.run(spec)
                     latencies[client_index].append(time.perf_counter() - start)
                     results[client_index].append(result)
-        except Exception as exc:  # surface in the main thread
+        except Exception as exc:  # noqa: BLE001 - collected and re-raised in the main thread after join
             errors.append((client_index, exc))
 
     threads = [

@@ -82,6 +82,8 @@ _EXPORTS = {
     "build_report": "repro.experiments",
     "ArtifactStore": "repro.store",
     "StoreStats": "repro.store",
+    "Finding": "repro.lint",
+    "lint_paths": "repro.lint",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

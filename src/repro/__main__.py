@@ -17,7 +17,9 @@ Commands:
 * ``costs`` — evaluate the Table 1 cost model for one configuration;
 * ``compare`` — run both pipelines on a synthetic scene and print the
   reduction report;
-* ``circuit`` — solve the analog averaging circuit's DC point.
+* ``circuit`` — solve the analog averaging circuit's DC point;
+* ``lint`` — check the repo's determinism/concurrency/spec invariants
+  with the AST linter (``repro.lint``); exit code 1 on findings.
 """
 
 from __future__ import annotations
@@ -360,6 +362,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run
+
+    return run(
+        paths=args.paths, fmt=args.format, rules=args.rule, out=args.out
+    )
+
+
 def _cmd_circuit(args: argparse.Namespace) -> int:
     from .analog import AVG_NODE, DC, MNASolver, build_pooling_circuit
 
@@ -571,6 +581,26 @@ def build_parser() -> argparse.ArgumentParser:
     circuit = sub.add_parser("circuit", help="DC-solve the averaging circuit")
     circuit.add_argument("--inputs", type=int, default=12)
     circuit.add_argument("--level", type=float, default=0.5)
+
+    lint = sub.add_parser(
+        "lint", help="check the repo's determinism/concurrency invariants"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src benchmarks tools)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is sorted and byte-stable)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="RULE_ID",
+        help="run only this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
     return parser
 
 
@@ -587,6 +617,7 @@ def main(argv: list[str] | None = None) -> int:
         "costs": _cmd_costs,
         "compare": _cmd_compare,
         "circuit": _cmd_circuit,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -52,6 +52,13 @@ class PhaseStats:
     def to_dict(self) -> dict:
         return {"path": self.path, "calls": self.calls, "total_s": self.total_s}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseStats":
+        """Rebuild a row from its :meth:`to_dict` form (exact round-trip)."""
+        return cls(
+            path=data["path"], calls=data["calls"], total_s=data["total_s"]
+        )
+
 
 @dataclass(frozen=True)
 class PhaseProfile:
@@ -88,6 +95,23 @@ class PhaseProfile:
             "total_s": self.total_s,
             "phases": [p.to_dict() for p in self.phases],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseProfile":
+        """Rebuild a profile from its :meth:`to_dict` form.
+
+        ``total_s`` is derived (a property), so only ``phases`` is read;
+        the derived value is re-checked to catch hand-edited payloads.
+        """
+        profile = cls(
+            tuple(PhaseStats.from_dict(row) for row in data.get("phases", ()))
+        )
+        if "total_s" in data and abs(profile.total_s - data["total_s"]) > 1e-9:
+            raise ValueError(
+                f"total_s {data['total_s']!r} does not match the phase rows "
+                f"(derived {profile.total_s!r})"
+            )
+        return profile
 
     @classmethod
     def merge(cls, profiles: Iterable["PhaseProfile"]) -> "PhaseProfile":

@@ -62,6 +62,13 @@ class TrendCheck:
     def to_dict(self) -> dict:
         return {"name": self.name, "passed": self.passed, "detail": self.detail}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrendCheck":
+        """Rebuild a check from a report payload (exact round-trip)."""
+        return cls(
+            name=data["name"], passed=data["passed"], detail=data["detail"]
+        )
+
 
 @dataclass(frozen=True)
 class SweepReport:

@@ -120,6 +120,10 @@ class CellRecord:
                 out[name] = self.baseline[metric] / cell_value
         return out
 
+    # The row deliberately flattens the cell (specs live in the sweep
+    # header) and drops the profile (run metadata), and nothing parses
+    # a report row back into a CellRecord.
+    # repro: lint-ok[spec-roundtrip] one-way report row, never parsed back
     def to_dict(self) -> dict:
         """Deterministic plain-data row (no wall-clock, no profile)."""
         data = {

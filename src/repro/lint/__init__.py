@@ -1,0 +1,54 @@
+"""``repro.lint`` — the repo's invariants as an AST-based linter.
+
+Seven PRs of growth rest on contracts that used to live only in prose:
+every RNG seeded, report payloads wall-clock-free, components
+registered at import time, cache state mutated under the tier lock,
+inference on fixed-order einsum, work units picklable, broad excepts
+justified.  This package makes them machine-checkable::
+
+    from repro.lint import lint_paths, render_json
+    findings = lint_paths(["src", "benchmarks", "tools"])
+
+or from the console: ``repro lint [paths] [--format text|json]``
+(exit code 1 on findings).  Suppress a deliberate exception inline
+with ``# repro: lint-ok[rule-id] reason`` — the reason is mandatory.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig, LockScope
+from .engine import (
+    ENGINE_RULE_IDS,
+    RULES,
+    LintRule,
+    ModuleContext,
+    all_rule_ids,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from .findings import Finding, render_json, render_text
+from .suppress import Suppression, SuppressionIndex, scan_suppressions
+
+# Importing the rules module registers every built-in rule.
+from . import rules as _rules  # noqa: F401  (import-time registration)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ENGINE_RULE_IDS",
+    "Finding",
+    "LintConfig",
+    "LintRule",
+    "LockScope",
+    "ModuleContext",
+    "RULES",
+    "Suppression",
+    "SuppressionIndex",
+    "all_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "scan_suppressions",
+]

@@ -1,0 +1,53 @@
+"""The ``repro lint`` entry point (thin shell around the engine).
+
+Exit codes follow the usual linter convention: 0 clean, 1 findings,
+2 usage error (unknown rule id, missing path).  The JSON report is
+byte-stable across runs — findings arrive sorted by (path, line, col,
+rule id) and the payload carries no wall-clock — so CI can archive it
+as an artifact and diff runs directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .config import DEFAULT_CONFIG
+from .engine import all_rule_ids, lint_paths
+from .findings import render_json, render_text
+
+#: What CI gates on when no paths are given.
+DEFAULT_PATHS = ("src", "benchmarks", "tools")
+
+
+def run(
+    paths: list[str] | None = None,
+    fmt: str = "text",
+    rules: list[str] | None = None,
+    out: str | None = None,
+) -> int:
+    """Lint ``paths`` (default: the CI set) and report; returns exit code."""
+    targets = list(paths) if paths else list(DEFAULT_PATHS)
+    missing = [target for target in targets if not Path(target).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if rules:
+        known = set(all_rule_ids())
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(unknown)}\n"
+                f"known rules: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    findings = lint_paths(targets, config=DEFAULT_CONFIG, rules=rules)
+
+    if out is not None:
+        Path(out).write_text(render_json(findings), encoding="utf-8")
+    report = render_json(findings) if fmt == "json" else render_text(findings)
+    sys.stdout.write(report)
+    return 1 if findings else 0

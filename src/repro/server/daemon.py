@@ -34,9 +34,12 @@ to a fresh serial run — the serving benchmark's standing assertion.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import socket
+import sys
 import threading
+import traceback
 from pathlib import Path
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -77,6 +80,11 @@ class _Job:
         self.future: Future = Future()
 
 
+#: Monotone connection ids, stamped on every accepted socket so stderr
+#: diagnostics can be correlated with a specific client session.
+_CONNECTION_IDS = itertools.count(1)
+
+
 class _Connection:
     """Per-client state: the socket, its reader, and a write lock.
 
@@ -85,10 +93,12 @@ class _Connection:
     thread may need to write a timeout error — frames must never
     interleave mid-line.  ``abandoned`` marks a request id whose client
     stopped waiting (timeout): the worker drops further stream writes for
-    it instead of corrupting the reply order.
+    it instead of corrupting the reply order.  ``cid`` is this
+    connection's daemon-unique id, quoted in stderr diagnostics.
     """
 
     def __init__(self, sock: socket.socket):
+        self.cid = next(_CONNECTION_IDS)
         self.sock = sock
         self.reader = sock.makefile("rb")
         self.wlock = threading.Lock()
@@ -510,6 +520,15 @@ class ReproServer:
             )
             return
         except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            # The client gets a typed one-liner; the operator gets the
+            # traceback on stderr, tagged with the connection id so
+            # concurrent sessions stay distinguishable in the log.
+            print(
+                f"[repro-serve] internal error on conn {connection.cid} "
+                f"request {request.id!r}: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            traceback.print_exc(file=sys.stderr)
             connection.send(
                 ErrorResponse(
                     id=request.id, code="internal", message=f"{type(exc).__name__}: {exc}"

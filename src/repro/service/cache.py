@@ -245,7 +245,7 @@ class SpecCache:
                 is_owner = True
                 entry = Future()
                 self._entries[key] = entry
-                spilled = self._evict_over_capacity(delta)
+                spilled = self._evict_over_capacity_locked(delta)
         if not is_owner:
             return entry.result()
         self._spill(spilled)
@@ -351,7 +351,7 @@ class SpecCache:
             self._entries.move_to_end(key)
             if size is not None:
                 self._sizes[key] = size
-            spilled = self._evict_over_capacity(delta)
+            spilled = self._evict_over_capacity_locked(delta)
         self._spill(spilled)
         if spill and self.store is not None:
             self.store.put(self.kind, key, value)
@@ -395,8 +395,10 @@ class SpecCache:
             if delta is not None:
                 delta.merge(other)
 
-    def _evict_over_capacity(self, delta: TierStats | None = None) -> list:
-        # Caller holds the lock.  Returns the evicted (key, value) pairs
+    def _evict_over_capacity_locked(self, delta: TierStats | None = None) -> list:
+        # Caller holds the lock (the *_locked suffix is the contract the
+        # lock-discipline lint rule keys on).  Returns the evicted
+        # (key, value) pairs
         # that must spill to the disk tier — spilling does pickle + file
         # I/O, so it happens only after the lock is released.
         spilled: list = []

@@ -19,6 +19,7 @@ spec JSON):
 from .artifact import MISS, ArtifactStore, StoreStats
 from .shm import (
     SEGMENT_PREFIX,
+    ClipSegmentGoneError,
     SharedClipHandle,
     SharedClipLease,
     attach_clip,
@@ -30,6 +31,7 @@ __all__ = [
     "ArtifactStore",
     "StoreStats",
     "SEGMENT_PREFIX",
+    "ClipSegmentGoneError",
     "SharedClipHandle",
     "SharedClipLease",
     "attach_clip",

@@ -79,13 +79,31 @@ class SharedClipHandle:
     resolution: tuple
 
 
+class ClipSegmentGoneError(OSError):
+    """The shared segment no longer exists (the owner unlinked it).
+
+    A subclass of :class:`OSError` so existing "segment gone or mangled:
+    render it ourselves" fallbacks keep catching it; raised instead of a
+    raw :class:`FileNotFoundError` so callers can tell "the batch was
+    torn down under me" apart from ordinary filesystem errors.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"shared clip segment {name!r} is gone "
+            "(the owner already closed or unlinked it)"
+        )
+        self.name = name
+
+
 class SharedClipLease:
     """Refcounted ownership of one shared segment (parent side).
 
     The dispatcher acquires one reference per chunk the handle rides in
     and releases as each chunk's future completes; the last release
-    closes and unlinks the segment.  :meth:`destroy` force-releases on
-    failure paths.  Both are idempotent and thread-safe.
+    closes and unlinks the segment.  :meth:`destroy` (alias
+    :meth:`close`) force-releases on failure paths.  All of these are
+    idempotent and thread-safe — a double ``close()`` is a no-op.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, handle: SharedClipHandle):
@@ -109,6 +127,16 @@ class SharedClipLease:
     def destroy(self) -> None:
         with self._lock:
             self._close_locked()
+
+    def close(self) -> None:
+        """Force-release the segment now; safe to call any number of times."""
+        self.destroy()
+
+    def __enter__(self) -> "SharedClipLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _close_locked(self) -> None:
         shm, self._shm = self._shm, None
@@ -177,10 +205,14 @@ def attach_clip(handle: SharedClipHandle) -> SyntheticClip:
     safe to cache and reuse, even after the parent unlinks the name.
 
     Raises:
-        OSError: the segment is gone (e.g. the parent already tore the
-            batch down); callers treat this as "render it yourself".
+        ClipSegmentGoneError: the segment is gone (e.g. the parent
+            already tore the batch down); callers treat this as "render
+            it yourself".
     """
-    shm = _attach_segment(handle.name)
+    try:
+        shm = _attach_segment(handle.name)
+    except FileNotFoundError as exc:
+        raise ClipSegmentGoneError(handle.name) from exc
     block = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
     # Shared pages: a write here would corrupt every other attached
     # worker.  Consumers copy before mutating by contract; enforce it.

@@ -126,6 +126,21 @@ class TestPhaseProfile:
         assert data["total_s"] == 1.0  # nested rows not double-counted
         assert data["phases"][1] == {"path": "a.b", "calls": 2, "total_s": 0.25}
 
+    def test_from_dict_round_trips_exactly(self):
+        profile = self._profile(("a", 1, 1.0), ("a.b", 2, 0.25))
+        assert PhaseProfile.from_dict(profile.to_dict()) == profile
+        row = PhaseStats("a.b", 2, 0.25)
+        assert PhaseStats.from_dict(row.to_dict()) == row
+
+    def test_from_dict_rejects_inconsistent_total(self):
+        import pytest
+
+        profile = self._profile(("a", 1, 1.0))
+        data = profile.to_dict()
+        data["total_s"] = 99.0  # hand-edited payload: derived value lies
+        with pytest.raises(ValueError, match="total_s"):
+            PhaseProfile.from_dict(data)
+
     def test_report_contains_every_phase(self):
         profile = self._profile(("stage2", 1, 1.0), ("stage2.classify", 1, 0.9))
         text = profile.report()

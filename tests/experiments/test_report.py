@@ -140,6 +140,10 @@ class TestPaperReports:
         with pytest.raises(ValueError, match="float64"):
             build_report(SweepResult(spec=no_ref, records=result.records))
 
+    def test_trend_check_round_trips_through_to_dict(self):
+        check = TrendCheck("transfer_monotone_in_k", True, "430 > 187 kB")
+        assert TrendCheck.from_dict(check.to_dict()) == check
+
     def test_assert_trends_raises_listing_failures(self):
         report_like = build_report(run_tiny("paper_fig7_transfer"))
         broken = type(report_like)(

@@ -1,0 +1,20 @@
+"""BAD: registration below module top level (rule: import-time-registration).
+
+A spawn worker re-imports the module; a component registered inside a
+function body never runs there, so the worker silently loses it.
+"""
+
+
+def register_detector(name):
+    def decorate(builder):
+        return builder
+
+    return decorate
+
+
+def install_late():
+    @register_detector("late-detector")
+    def build(config):
+        return config
+
+    return build

@@ -1,0 +1,13 @@
+"""GOOD: registration at module top level — import is the registry."""
+
+
+def register_detector(name):
+    def decorate(builder):
+        return builder
+
+    return decorate
+
+
+@register_detector("import-time-detector")
+def build(config):
+    return config

@@ -1,0 +1,20 @@
+"""BAD: tier state mutated off-lock (rule: lock-discipline)."""
+
+import threading
+from collections import OrderedDict
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._sizes = {}
+
+    def put(self, key, value, size):
+        self._entries[key] = value  # racy: no lock held
+        self._sizes[key] = size  # racy: no lock held
+
+    def evict(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+        self._sizes.pop(key, None)  # racy: outside the with block

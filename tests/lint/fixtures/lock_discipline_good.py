@@ -1,0 +1,23 @@
+"""GOOD: every mutation under the lock, or in a *_locked helper."""
+
+import threading
+from collections import OrderedDict
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._sizes = {}
+
+    def put(self, key, value, size):
+        with self._lock:
+            self._entries[key] = value
+            self._sizes[key] = size
+            self._evict_over_capacity_locked()
+
+    def _evict_over_capacity_locked(self):
+        # Caller holds the lock (the *_locked naming contract).
+        while len(self._entries) > 4:
+            key, _ = self._entries.popitem(last=False)
+            self._sizes.pop(key, None)

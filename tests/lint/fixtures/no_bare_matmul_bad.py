@@ -1,0 +1,7 @@
+"""BAD: bare matmul on an inference path (rule: no-bare-matmul-in-inference)."""
+
+import numpy as np
+
+
+def forward(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return x @ w  # BLAS reassociates by shape: batch-size-dependent bits

@@ -1,0 +1,13 @@
+"""GOOD: fixed-order einsum at inference; '@' only on training paths."""
+
+import numpy as np
+
+
+def forward(x: np.ndarray, w: np.ndarray, training: bool = False) -> np.ndarray:
+    if training:
+        return x @ w  # training path: exempt, bit-identity not required
+    return np.einsum("nk,km->nm", x, w)
+
+
+def backward(grad: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return grad @ w.T  # backward pass: exempt

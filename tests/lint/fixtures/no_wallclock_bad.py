@@ -1,0 +1,7 @@
+"""BAD: a payload module reaching for wall-clock (rule: no-wallclock)."""
+
+import time
+
+
+def build_payload(frames: int) -> dict:
+    return {"frames": frames, "generated_at": time.time()}

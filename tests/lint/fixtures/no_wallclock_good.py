@@ -1,0 +1,5 @@
+"""GOOD: the payload is a pure function of its inputs (no wall-clock)."""
+
+
+def build_payload(frames: int) -> dict:
+    return {"frames": frames}

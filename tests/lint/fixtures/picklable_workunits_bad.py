@@ -1,0 +1,11 @@
+"""BAD: a work unit carrying live resources (rule: picklable-workunits)."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkUnit:
+    name: str
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    on_done: object = lambda result: result

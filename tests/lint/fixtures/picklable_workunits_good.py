@@ -1,0 +1,10 @@
+"""GOOD: a work unit of plain data — names, numbers, nested dicts."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkUnit:
+    name: str
+    seed: int = 0
+    params: dict = field(default_factory=dict)

@@ -1,0 +1,9 @@
+"""BAD: unseeded and legacy global-state RNG (rule: seeded-rng)."""
+
+import numpy as np
+
+
+def sample(n: int) -> np.ndarray:
+    rng = np.random.default_rng()  # OS entropy: different every run
+    np.random.seed(7)  # legacy global state
+    return rng.normal(size=n)

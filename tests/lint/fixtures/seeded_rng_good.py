@@ -1,0 +1,8 @@
+"""GOOD: every stream is explicitly seeded from the spec."""
+
+import numpy as np
+
+
+def sample(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)

@@ -1,0 +1,9 @@
+"""BAD: a broad except that swallows silently (rule: silent-except)."""
+
+
+def load(path: str):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        return None

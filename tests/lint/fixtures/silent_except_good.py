@@ -1,0 +1,25 @@
+"""GOOD: broad excepts either justify themselves, re-raise, or narrow."""
+
+
+def load(path: str):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:  # noqa: BLE001 - a missing/corrupt file means "no cached value"
+        return None
+
+
+def load_strict(path: str):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception as exc:
+        raise RuntimeError(f"cannot load {path}") from exc
+
+
+def load_narrow(path: str):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except FileNotFoundError:
+        return None

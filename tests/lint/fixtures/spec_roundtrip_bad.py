@@ -1,0 +1,16 @@
+"""BAD: a frozen spec that cannot round-trip (rule: spec-roundtrip).
+
+``to_dict`` drops ``value`` and there is no ``from_dict`` at all, so
+the emitted payload can neither rebuild the spec nor cover its fields.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    value: int
+
+    def to_dict(self) -> dict:
+        return {"name": self.name}

@@ -1,0 +1,16 @@
+"""GOOD: a frozen spec with an exact to_dict/from_dict round-trip."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    value: int
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Spec":
+        return cls(name=data["name"], value=data["value"])

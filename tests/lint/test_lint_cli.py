@@ -1,0 +1,75 @@
+"""The ``repro lint`` subcommand: exit codes, formats, determinism."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "seeded_rng_bad.py")
+GOOD = str(FIXTURES / "seeded_rng_good.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["lint", GOOD]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", BAD]) == 1
+        out = capsys.readouterr().out
+        assert "[seeded-rng]" in out
+        assert "seeded_rng_bad.py" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", GOOD, "--rule", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule(s): bogus" in err
+        assert "known rules:" in err
+
+    def test_rule_filter_applies(self, capsys):
+        assert main(["lint", BAD, "--rule", "silent-except"]) == 0
+        assert main(["lint", BAD, "--rule", "seeded-rng"]) == 1
+        capsys.readouterr()
+
+
+class TestJsonFormat:
+    def test_json_schema(self, capsys):
+        assert main(["lint", BAD, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["count"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule_id", "path", "line", "col", "message", "hint",
+            }
+
+    def test_json_is_byte_stable_across_runs(self, capsys):
+        assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+        first = capsys.readouterr().out
+        assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_sorted_by_path_line_rule(self, capsys):
+        main(["lint", str(FIXTURES), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        keys = [
+            (f["path"], f["line"], f["col"], f["rule_id"])
+            for f in payload["findings"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_out_writes_json_report_regardless_of_format(
+        self, tmp_path, capsys
+    ):
+        report = tmp_path / "lint.json"
+        assert main(["lint", BAD, "--out", str(report)]) == 1
+        console = capsys.readouterr().out
+        assert "[seeded-rng]" in console  # console stays text
+        payload = json.loads(report.read_text())
+        assert payload["count"] > 0

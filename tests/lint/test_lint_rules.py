@@ -1,0 +1,105 @@
+"""Seeded fixture regression: every rule fires on bad, stays silent on good.
+
+Each rule has one minimal ``<rule>_bad.py`` / ``<rule>_good.py`` pair
+under ``fixtures/``.  Scoped rules (wall-clock, lock discipline, matmul,
+work units) are retargeted at the fixture files through a
+:class:`LintConfig`, which is exactly the knob the engine exposes for
+this purpose — the rule logic under test is the shipped logic.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LockScope, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Scoped rules pointed at the fixture tree instead of src/repro.
+FIXTURE_CONFIG = LintConfig(
+    payload_modules=("*/fixtures/no_wallclock_*.py",),
+    lock_scopes=(
+        LockScope("*/fixtures/lock_discipline_*.py", ("_entries", "_sizes")),
+    ),
+    matmul_modules=("*/fixtures/no_bare_matmul_*.py",),
+    workunit_modules=("*/fixtures/picklable_workunits_*.py",),
+)
+
+#: rule id -> fixture basename stem.
+RULE_FIXTURES = {
+    "no-wallclock": "no_wallclock",
+    "seeded-rng": "seeded_rng",
+    "import-time-registration": "import_time_registration",
+    "spec-roundtrip": "spec_roundtrip",
+    "lock-discipline": "lock_discipline",
+    "no-bare-matmul-in-inference": "no_bare_matmul",
+    "picklable-workunits": "picklable_workunits",
+    "silent-except": "silent_except",
+}
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_bad_fixture_triggers_exactly_its_rule(self, rule_id):
+        path = FIXTURES / f"{RULE_FIXTURES[rule_id]}_bad.py"
+        findings = lint_file(path, config=FIXTURE_CONFIG)
+        assert findings, f"{path.name} raised nothing"
+        assert {f.rule_id for f in findings} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_good_fixture_is_clean(self, rule_id):
+        path = FIXTURES / f"{RULE_FIXTURES[rule_id]}_good.py"
+        findings = lint_file(path, config=FIXTURE_CONFIG)
+        assert findings == [], [f.format() for f in findings]
+
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        from repro.lint import RULES
+
+        assert set(RULE_FIXTURES) == set(RULES)
+        for stem in RULE_FIXTURES.values():
+            assert (FIXTURES / f"{stem}_bad.py").is_file()
+            assert (FIXTURES / f"{stem}_good.py").is_file()
+
+    def test_findings_carry_location_and_hint(self):
+        path = FIXTURES / "seeded_rng_bad.py"
+        findings = lint_file(path, config=FIXTURE_CONFIG)
+        for finding in findings:
+            assert finding.path.endswith("seeded_rng_bad.py")
+            assert finding.line > 0 and finding.col > 0
+            assert finding.message
+            assert finding.hint
+
+
+class TestRuleSpecifics:
+    def test_bad_wallclock_flags_import_and_call(self):
+        path = FIXTURES / "no_wallclock_bad.py"
+        findings = lint_file(path, config=FIXTURE_CONFIG)
+        assert len(findings) == 2  # the import and the time.time() call
+
+    def test_wallclock_rule_is_scoped_to_payload_modules(self):
+        # The same file linted as a non-payload module is clean: the
+        # engine is the scoping mechanism, not the rule body.
+        path = FIXTURES / "no_wallclock_bad.py"
+        findings = lint_file(path, config=LintConfig(payload_modules=()))
+        assert findings == []
+
+    def test_bad_spec_roundtrip_reports_both_defects(self):
+        path = FIXTURES / "spec_roundtrip_bad.py"
+        messages = [
+            f.message for f in lint_file(path, config=FIXTURE_CONFIG)
+        ]
+        assert any("no from_dict" in m for m in messages)
+        assert any("never writes field(s): value" in m for m in messages)
+
+    def test_bad_lock_discipline_flags_each_racy_mutation(self):
+        path = FIXTURES / "lock_discipline_bad.py"
+        findings = lint_file(path, config=FIXTURE_CONFIG)
+        assert len(findings) == 3  # two in put(), one after the with block
+
+    def test_bad_workunit_flags_lock_field_and_lambda_default(self):
+        path = FIXTURES / "picklable_workunits_bad.py"
+        messages = [
+            f.message for f in lint_file(path, config=FIXTURE_CONFIG)
+        ]
+        assert any("Lock" in m for m in messages)
+        assert any("lambda" in m for m in messages)

@@ -9,7 +9,12 @@ import pytest
 
 from repro.stream import pedestrian_clip
 from repro.stream.source import SyntheticClip
-from repro.store import SEGMENT_PREFIX, attach_clip, share_clip
+from repro.store import (
+    SEGMENT_PREFIX,
+    ClipSegmentGoneError,
+    attach_clip,
+    share_clip,
+)
 
 DEV_SHM = Path("/dev/shm")
 
@@ -118,6 +123,40 @@ class TestLeaseLifetime:
         lease.destroy()
         with pytest.raises(OSError):
             attach_clip(handle)
+
+    def test_attach_after_unlink_raises_typed_error(self):
+        # Not a raw FileNotFoundError: callers distinguish "the owner
+        # tore the batch down" from ordinary filesystem failures, while
+        # the OSError fallback ("render it yourself") keeps working.
+        lease = share_clip(uniform_clip())
+        handle = lease.handle
+        lease.destroy()
+        with pytest.raises(ClipSegmentGoneError) as excinfo:
+            attach_clip(handle)
+        assert isinstance(excinfo.value, OSError)
+        assert excinfo.value.name == handle.name
+        assert handle.name in str(excinfo.value)
+
+    def test_double_close_is_a_noop(self):
+        lease = share_clip(uniform_clip())
+        name = lease.handle.name
+        assert name in segments()
+        lease.close()
+        assert name not in segments()
+        lease.close()  # second close: no error, no effect
+        lease.close()
+
+    def test_close_after_release_is_a_noop(self):
+        lease = share_clip(uniform_clip())
+        lease.acquire()
+        lease.release()  # last reference: segment already gone
+        lease.close()
+
+    def test_lease_is_a_context_manager(self):
+        with share_clip(uniform_clip()) as lease:
+            name = lease.handle.name
+            assert name in segments()
+        assert name not in segments()
 
     def test_attached_views_survive_parent_unlink(self):
         # Unlink removes the *name*; the mapping lives until the last
