@@ -1,0 +1,272 @@
+"""Resilience benchmark: serving under injected crashes and drops.
+
+The robustness promise is that a daemon under a deterministic chaos plan
+— a worker process hard-killed mid-batch plus reply sockets dropped on
+schedule — still completes **every** request, and every reply carries
+exactly the bytes a fault-free run would have produced.  This bench
+drives a live :class:`~repro.server.ReproServer` armed with such a
+:class:`~repro.faults.FaultPlan` through retrying clients and enforces:
+
+1. **100% completion**: every request issued against the faulted daemon
+   returns a result — no client sees an unhandled failure;
+2. **byte-identical replies**: each result matches a fresh, cache-free,
+   fault-free serial ``Engine.run`` bit for bit;
+3. **determinism**: the same plan (same seed) previews the same fault
+   schedule every time, and a live injector fires exactly that schedule;
+4. the recovery machinery actually engaged: the executor respawned its
+   pool after the injected crash, and the clients reconnected once per
+   scheduled socket drop.
+
+What it *reports* (never gates on — CI runners cannot assert timings):
+faulted-phase latency percentiles, recovery counters, all written to
+``BENCH_resilience.json`` at the repo root for artifact upload.
+
+Env knobs (CI chaos-smoke uses the first):
+  ``REPRO_RESILIENCE_TINY``      tiny workload, correctness asserts only
+  ``REPRO_RESILIENCE_REQUESTS``  total retried-phase requests
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import env_flag, env_int
+
+from repro.bench import Table
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.server import ReproServer, ServerClient
+from repro.service import Engine, EngineCache, ScenarioSpec
+from repro.service.spec import coerce_service_spec
+
+TINY = env_flag("REPRO_RESILIENCE_TINY")
+RESOLUTION = (64, 48) if TINY else (128, 96)
+N_FRAMES = 3 if TINY else 8
+N_SCENARIOS = 3 if TINY else 6
+CLIENTS = 2 if TINY else 3
+REQUESTS = env_int("REPRO_RESILIENCE_REQUESTS", 8 if TINY else 36)
+WORKERS = 2
+
+SYSTEM = {"system": {"system": "hirise"}}
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+#: server.reply hits at which the daemon drops the socket instead of
+#: answering.  Each drop costs one extra hit for the retried replay, so
+#: these land one mid-cold-phase and one mid-sustained-phase.
+DROP_HITS = (1, 4)
+
+
+def chaos_plan(fuse_dir: Path) -> FaultPlan:
+    """One hard worker kill (process-wide fuse) plus scheduled drops."""
+    return FaultPlan(
+        name="chaos-smoke",
+        seed=23,
+        faults=(
+            FaultSpec(
+                site="worker.run",
+                kind="worker-crash",
+                at=(0,),
+                scope="global",
+            ),
+            FaultSpec(site="server.reply", kind="socket-drop", at=DROP_HITS),
+        ),
+        fuse_dir=str(fuse_dir),
+    )
+
+
+def workload() -> list[ScenarioSpec]:
+    scenarios = []
+    for index in range(N_SCENARIOS):
+        source = ("pedestrian", "drone")[index % 2]
+        spec = {
+            "source": {"name": source, "params": {"resolution": list(RESOLUTION)}},
+            "n_frames": N_FRAMES,
+            "seed": 300 + index,
+            "name": f"resilience-{source}-{index}",
+        }
+        if index % 3 == 2:
+            spec["policy"] = {"name": "temporal-reuse", "params": {"max_reuse": 2}}
+        scenarios.append(ScenarioSpec.from_dict(spec))
+    return scenarios
+
+
+def drive(address, scenarios, n_requests, n_clients):
+    """Concurrent retrying clients; returns (latencies, results, reconnects).
+
+    Every client is armed with a retry budget, so a scheduled socket
+    drop surfaces as a transparent reconnect-and-replay — the benchmark
+    then *proves* the replayed bytes match the fault-free reference.
+    """
+    latencies = [[] for _ in range(n_clients)]
+    results = [[] for _ in range(n_clients)]
+    reconnects = [0] * n_clients
+    per_client = n_requests // n_clients
+    errors = []
+
+    def client_loop(client_index):
+        try:
+            client = ServerClient(*address, timeout_s=120.0, max_retries=3)
+            with client:
+                for step in range(per_client):
+                    spec = scenarios[(client_index + step) % len(scenarios)]
+                    start = time.perf_counter()
+                    result = client.run(spec)
+                    latencies[client_index].append(time.perf_counter() - start)
+                    results[client_index].append(result)
+                reconnects[client_index] = client.retry_stats["reconnect"]
+        except Exception as exc:  # noqa: BLE001 - collected and re-raised in the main thread after join
+            errors.append((client_index, exc))
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,)) for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    assert not errors, f"client failures under chaos plan: {errors}"
+    return (
+        [lat for per in latencies for lat in per],
+        results,
+        sum(reconnects),
+    )
+
+
+def percentiles(latencies_s):
+    lat_ms = np.asarray(latencies_s) * 1e3
+    return float(np.percentile(lat_ms, 50)), float(np.percentile(lat_ms, 99))
+
+
+def test_resilience_under_chaos(emit, tmp_path):
+    plan = chaos_plan(tmp_path / "fuses")
+    scenarios = workload()
+
+    # -- check 3 first: the schedule is a pure function of the seed ------
+    preview = plan.schedule("server.reply", 64)
+    replayed = FaultPlan.from_dict(plan.to_dict()).schedule("server.reply", 64)
+    assert preview == replayed
+    live_injector = FaultInjector(FaultPlan.from_dict(plan.to_dict()))
+    live = [
+        spec.kind if (spec := live_injector.fire("server.reply")) else None
+        for _ in range(64)
+    ]
+    assert live == preview
+    assert [hit for hit, kind in enumerate(preview) if kind] == list(DROP_HITS)
+    emit("check 3: same seed -> identical fault schedule (preview == live)")
+
+    # -- fault-free reference: what every reply must match ---------------
+    reference = Engine(
+        coerce_service_spec(SYSTEM).system, cache=EngineCache.disabled()
+    )
+    expected = {spec.label: reference.run(spec) for spec in scenarios}
+
+    with ReproServer(
+        SYSTEM,
+        workers=WORKERS,
+        executor="process",
+        queue_size=max(16, REQUESTS),
+        faults=plan,
+    ) as server:
+        with ServerClient(*server.address, max_retries=3) as probe:
+            # -- cold phase: each scenario once; the injected worker
+            # crash lands on the very first dispatched chunk and one
+            # scheduled socket-drop interrupts a cold reply ------------
+            cold_start = time.perf_counter()
+            for spec in scenarios:
+                result = probe.run(spec)
+                assert result.outcome.frames == expected[spec.label].outcome.frames
+            cold_wall = time.perf_counter() - cold_start
+
+            # -- sustained phase: concurrent retrying clients ----------
+            latencies, results, client_reconnects = drive(
+                server.address, scenarios, REQUESTS, CLIENTS
+            )
+            stats = probe.stats()
+            probe_reconnects = probe.retry_stats["reconnect"]
+
+    # 1. 100% completion: every issued request came back with a result.
+    n_sustained = CLIENTS * (REQUESTS // CLIENTS)
+    completed = sum(len(per) for per in results)
+    assert completed == n_sustained
+    emit(
+        f"check 1: 100% completion — {len(scenarios)} cold + "
+        f"{completed} sustained requests, zero failures"
+    )
+
+    # 2. Every reply is bit-identical to the fault-free serial run.
+    checked = 0
+    for per_client in results:
+        for result in per_client:
+            want = expected[result.scenario.label]
+            assert result.scenario == want.scenario
+            assert result.outcome.frames == want.outcome.frames
+            checked += 1
+    assert checked == n_sustained
+    emit(f"check 2: {checked} replies byte-identical to the fault-free run")
+
+    # 4. The chaos actually happened and the machinery engaged: the pool
+    # respawned after the hard kill, the daemon dropped exactly the
+    # scheduled sockets, and clients reconnected once per drop.
+    resilience = stats.resilience
+    assert resilience["executor"]["respawns"] >= 1
+    assert resilience["faults"]["server.reply:socket-drop"] == len(DROP_HITS)
+    total_reconnects = client_reconnects + probe_reconnects
+    assert total_reconnects == len(DROP_HITS)
+    emit(
+        f"check 4: recovery engaged — "
+        f"{resilience['executor']['respawns']} pool respawn(s), "
+        f"{resilience['executor']['redispatched_units']} re-dispatched "
+        f"unit(s), {total_reconnects} client reconnect(s)"
+    )
+
+    p50, p99 = percentiles(latencies)
+    table = Table(
+        f"resilience: {completed} sustained requests over {CLIENTS} retrying "
+        f"connection(s), {N_SCENARIOS} scenarios x {N_FRAMES} frames at "
+        f"{RESOLUTION[0]}x{RESOLUTION[1]}, chaos plan {plan.name!r}",
+        ["phase", "requests", "p50 ms", "p99 ms", "reconnects"],
+        aligns=["l", "r", "r", "r", "r"],
+    )
+    table.add_row(
+        "cold+crash", str(len(scenarios)),
+        f"{cold_wall / len(scenarios) * 1e3:.1f}", "-", str(probe_reconnects)
+    )
+    table.add_row(
+        "sustained", str(completed), f"{p50:.2f}", f"{p99:.2f}",
+        str(client_reconnects)
+    )
+    emit("\n" + table.render())
+
+    payload = {
+        "experiment": "resilience",
+        "tiny": TINY,
+        "config": {
+            "n_scenarios": N_SCENARIOS,
+            "n_frames": N_FRAMES,
+            "resolution": list(RESOLUTION),
+            "clients": CLIENTS,
+            "sustained_requests": n_sustained,
+            "workers": WORKERS,
+            "plan": plan.to_dict(),
+            "plan_fingerprint": plan.fingerprint(),
+        },
+        "results": {
+            "completed": len(scenarios) + completed,
+            "failed": 0,
+            "bit_identical": True,
+            "schedule_deterministic": True,
+            "pool_respawns": resilience["executor"]["respawns"],
+            "redispatched_units": resilience["executor"]["redispatched_units"],
+            "socket_drops": resilience["faults"]["server.reply:socket-drop"],
+            "client_reconnects": total_reconnects,
+            "cold_wall_s": cold_wall,
+            "sustained_p50_ms": p50,
+            "sustained_p99_ms": p99,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(f"wrote {OUTPUT.name}")

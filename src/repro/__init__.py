@@ -32,6 +32,9 @@ and Selective ROI.  The package provides:
   content-addressed :class:`ArtifactStore` backing the engine cache's
   disk tier (warm restarts), plus shared-memory clip transport for the
   process executor.
+* :mod:`repro.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan`/:class:`FaultInjector`) driving the self-healing
+  executor, the retrying client, and the resilience benchmark.
 
 The most commonly used names are re-exported lazily at the top level so that
 ``import repro.analog`` does not pay for the ML stack and vice versa.
@@ -71,8 +74,15 @@ _EXPORTS = {
     "list_components": "repro.service",
     "ReproServer": "repro.server",
     "ServerClient": "repro.server",
+    "ServerClosedError": "repro.server",
     "ServerError": "repro.server",
     "wait_for_server": "repro.server",
+    "WorkUnitRetryError": "repro.service",
+    "FaultPlan": "repro.faults",
+    "FaultSpec": "repro.faults",
+    "FaultInjector": "repro.faults",
+    "InjectedFault": "repro.faults",
+    "load_fault_plan": "repro.faults",
     "SweepSpec": "repro.experiments",
     "SweepAxis": "repro.experiments",
     "SweepRunner": "repro.experiments",

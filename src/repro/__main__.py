@@ -38,15 +38,16 @@ def _open_store(store_dir):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .faults import FaultPlanError
     from .service import Engine, EngineCache, SpecError
 
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     try:
-        engine = Engine.from_spec(args.spec)
+        engine = Engine.from_spec(args.spec, faults=args.fault_plan)
         store = _open_store(args.store_dir)
-    except (SpecError, OSError) as exc:
+    except (SpecError, FaultPlanError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if store is not None:
@@ -93,6 +94,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             executor=args.executor,
             request_timeout_s=args.timeout,
             store=_open_store(args.store_dir),
+            faults=args.fault_plan,
         )
         server.start()
     except (SpecError, ValueError, OSError) as exc:
@@ -138,8 +140,11 @@ def _cmd_request(args: argparse.Namespace) -> int:
         print("error: a scenario file is required unless probing with "
               "--ping/--stats/--shutdown", file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
     try:
-        with ServerClient(args.host, args.port) as client:
+        with ServerClient(args.host, args.port, max_retries=args.retries) as client:
             if args.ping:
                 print(f"pong (repro {client.ping()})")
                 return 0
@@ -166,6 +171,12 @@ def _cmd_request(args: argparse.Namespace) -> int:
                             f"{entries} entr{'y' if entries == 1 else 'ies'}, "
                             f"{counters.get('bytes', 0) / 1024:.1f} kB")
                     print(f"cache[{tier}]: " + ", ".join(parts))
+                for group, counters in stats.resilience.items():
+                    rows = ", ".join(
+                        f"{counter}={value}"
+                        for counter, value in sorted(counters.items())
+                    )
+                    print(f"resilience[{group}]: {rows or 'none'}")
                 return 0
             if args.shutdown:
                 print(client.shutdown(drain=not args.no_drain))
@@ -416,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a persistent on-disk cache tier rooted here: previous "
         "runs' clips and results are reused, this run's are persisted",
     )
+    run.add_argument(
+        "--fault-plan", default=None,
+        help="arm a deterministic fault-injection plan (path to a JSON "
+        "FaultPlan; chaos testing — see repro.faults)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -452,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a persistent on-disk cache tier rooted here: a "
         "restarted daemon serves what a previous one computed as pure "
         "cache hits, bit-identical",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None,
+        help="arm a deterministic fault-injection plan (path to a JSON "
+        "FaultPlan) on the daemon's reply/stream/worker sites; injected "
+        "fault counters show up under `repro request --stats`",
     )
 
     request = sub.add_parser(
@@ -491,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
     request.add_argument(
         "--no-drain", action="store_true",
         help="with --shutdown: cancel queued requests instead of draining",
+    )
+    request.add_argument(
+        "--retries", type=int, default=0,
+        help="transparently retry backpressure rejections and dropped "
+        "connections up to N times with capped exponential backoff "
+        "(default 0 = fail fast)",
     )
 
     sweep = sub.add_parser(

@@ -122,6 +122,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_store.py",
             ("repro.store", "repro.service", "repro.server"),
         ),
+        Experiment(
+            "resilience",
+            "Ext. F",
+            "Fault injection: serving load under worker-crash + socket-drop plans completes 100% with replies byte-identical to a fault-free run (BENCH_resilience.json)",
+            "benchmarks/bench_resilience.py",
+            ("repro.faults", "repro.server", "repro.service"),
+        ),
     )
 }
 

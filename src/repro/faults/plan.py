@@ -1,0 +1,368 @@
+"""Fault plans: seeded, deterministic schedules of injected failures.
+
+A :class:`FaultPlan` is a spec in exactly the PR-2 sense — a frozen
+dataclass with an exact ``to_dict``/``from_dict`` round-trip — that says
+*which* failures fire *where* and *when*.  Determinism is the whole
+point: resilience can only be gated in CI if the same plan produces the
+same crashes on every run, so nothing here may consult wall clocks or
+unseeded randomness.  Probabilistic faults draw from a
+:class:`random.Random` stream derived from ``(plan.seed, site, spec
+position)``, so one seed fixes the entire injection schedule
+(:meth:`FaultPlan.schedule` previews it without side effects).
+
+Vocabulary:
+
+* **kind** (:data:`FAULT_KINDS`) — what goes wrong: ``worker-crash``
+  (the process dies hard), ``store-io-error`` (a disk read/write fails),
+  ``shm-attach-gone`` (a shared-memory segment vanished), ``socket-drop``
+  (the connection dies before the reply), ``reply-delay`` (the reply is
+  late by ``delay_s``).
+* **site** (:data:`FAULT_SITES`) — where the injector is consulted:
+  ``worker.run`` (per work unit, inside a process-pool worker),
+  ``store.load`` / ``store.put`` (:class:`~repro.store.ArtifactStore`),
+  ``shm.attach`` / ``shm.share`` (clip transport), ``server.reply``
+  (the daemon, just before a non-streaming reply / stream end),
+  ``server.stream`` (the daemon, per streamed frame).
+* **scope** — ``"process"`` counts hits per process (every spawned
+  worker sees its own hit 0); ``"global"`` arbitrates through a marker
+  file under ``fuse_dir`` so the fault fires **once across all
+  processes** — this is what lets a worker-crash plan kill exactly one
+  worker and let the respawned pool finish the batch.
+
+This module is a leaf: it imports only the standard library, so every
+subsystem (store, shm, executor, daemon) can depend on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+#: Named failure modes a plan may schedule, in documentation order.
+FAULT_KINDS = (
+    "worker-crash",
+    "store-io-error",
+    "shm-attach-gone",
+    "socket-drop",
+    "reply-delay",
+)
+
+#: Injection sites where the runtime consults the injector.
+FAULT_SITES = (
+    "worker.run",
+    "store.load",
+    "store.put",
+    "shm.attach",
+    "shm.share",
+    "server.reply",
+    "server.stream",
+)
+
+#: Hit-counting scopes (see the module docstring).
+FAULT_SCOPES = ("process", "global")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation; the message names the field."""
+
+
+def _require(value, fieldname: str, types, label: str):
+    if not isinstance(value, types) or isinstance(value, bool) and types is not bool:
+        raise FaultPlanError(
+            f"{fieldname}: expected {label}, got {type(value).__name__} "
+            f"({value!r})"
+        )
+    return value
+
+
+def _reject_unknown(data: dict, known: set, fieldname: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise FaultPlanError(
+            f"{fieldname}: unknown key(s) {unknown}; known keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: a kind bound to a site and a firing rule.
+
+    Attributes:
+        site: where to fire — one of :data:`FAULT_SITES`.
+        kind: what to inject — one of :data:`FAULT_KINDS`.
+        at: explicit 0-based hit indices at this site that always fire.
+        rate: probability (0..1) that any *other* hit fires, drawn from
+            the plan-seeded stream (deterministic given the seed).
+        limit: cap on total fires of this spec per injector (``None`` =
+            unlimited).  Counted per process; the ``"global"`` scope's
+            fuse is what bounds fires *across* processes.
+        delay_s: added latency for ``reply-delay`` faults (seconds).
+        scope: ``"process"`` (default) or ``"global"`` (single fire
+            across all processes, arbitrated via the plan's ``fuse_dir``).
+    """
+
+    site: str
+    kind: str
+    at: tuple = ()
+    rate: float = 0.0
+    limit: int | None = None
+    delay_s: float = 0.0
+    scope: str = "process"
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise FaultPlanError(
+                f"fault.site: unknown site {self.site!r}; "
+                f"known sites: {list(FAULT_SITES)}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"fault.kind: unknown kind {self.kind!r}; "
+                f"known kinds: {list(FAULT_KINDS)}"
+            )
+        if self.scope not in FAULT_SCOPES:
+            raise FaultPlanError(
+                f"fault.scope: unknown scope {self.scope!r}; "
+                f"known scopes: {list(FAULT_SCOPES)}"
+            )
+        object.__setattr__(self, "at", tuple(self.at))
+        for index in self.at:
+            if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+                raise FaultPlanError(
+                    f"fault.at: hit indices must be ints >= 0, got {index!r}"
+                )
+        rate = self.rate
+        if isinstance(rate, int) and not isinstance(rate, bool):
+            rate = float(rate)
+            object.__setattr__(self, "rate", rate)
+        if not isinstance(rate, float) or not 0.0 <= rate <= 1.0:
+            raise FaultPlanError(
+                f"fault.rate: expected a float in [0, 1], got {self.rate!r}"
+            )
+        if self.limit is not None and (
+            not isinstance(self.limit, int)
+            or isinstance(self.limit, bool)
+            or self.limit < 0
+        ):
+            raise FaultPlanError(
+                f"fault.limit: expected an int >= 0 or null, got {self.limit!r}"
+            )
+        delay = self.delay_s
+        if isinstance(delay, int) and not isinstance(delay, bool):
+            delay = float(delay)
+            object.__setattr__(self, "delay_s", delay)
+        if not isinstance(delay, float) or delay < 0.0:
+            raise FaultPlanError(
+                f"fault.delay_s: expected a float >= 0, got {self.delay_s!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": list(self.at),
+            "rate": self.rate,
+            "limit": self.limit,
+            "delay_s": self.delay_s,
+            "scope": self.scope,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        _require(data, "fault", dict, "a dict")
+        _reject_unknown(
+            data,
+            {"site", "kind", "at", "rate", "limit", "delay_s", "scope"},
+            "fault",
+        )
+        for fieldname in ("site", "kind"):
+            if fieldname not in data:
+                raise FaultPlanError(
+                    f"fault.{fieldname}: required field is missing"
+                )
+        at = data.get("at", ())
+        if not isinstance(at, (list, tuple)):
+            raise FaultPlanError(
+                f"fault.at: expected a list of hit indices, got {at!r}"
+            )
+        return cls(
+            site=_require(data["site"], "fault.site", str, "str"),
+            kind=_require(data["kind"], "fault.kind", str, "str"),
+            at=tuple(at),
+            rate=data.get("rate", 0.0),
+            limit=data.get("limit"),
+            delay_s=data.get("delay_s", 0.0),
+            scope=_require(
+                data.get("scope", "process"), "fault.scope", str, "str"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of :class:`FaultSpec` entries.
+
+    Attributes:
+        name: a human label (quoted in diagnostics, folded into the
+            fingerprint).
+        seed: seeds every probabilistic stream; the same seed reproduces
+            the identical injection schedule.
+        faults: the scheduled faults, in priority order — at most one
+            fires per hit of a site, the first match winning (losers
+            still consume their random draws, so adding a fault never
+            perturbs another's schedule on *later* sites).
+        fuse_dir: directory for ``"global"``-scope marker files.  Must be
+            set when any fault uses the global scope — the fuse survives
+            process boundaries, so guessing a shared default would let a
+            previous run's markers silently disarm this one.
+    """
+
+    name: str = "chaos"
+    seed: int = 0
+    faults: tuple = ()
+    fuse_dir: str | None = None
+
+    def __post_init__(self):
+        _require(self.name, "plan.name", str, "str")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultPlanError(
+                f"plan.seed: expected an int, got {self.seed!r}"
+            )
+        faults = tuple(self.faults)
+        object.__setattr__(self, "faults", faults)
+        for fault in faults:
+            if not isinstance(fault, FaultSpec):
+                raise FaultPlanError(
+                    f"plan.faults: expected FaultSpec entries, got {fault!r}"
+                )
+        if self.fuse_dir is not None:
+            _require(self.fuse_dir, "plan.fuse_dir", str, "str")
+        if self.fuse_dir is None and any(f.scope == "global" for f in faults):
+            raise FaultPlanError(
+                "plan.fuse_dir: required when any fault has scope \"global\" "
+                "(the cross-process fuse needs an explicit directory)"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "fuse_dir": self.fuse_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        _require(data, "plan", dict, "a dict")
+        _reject_unknown(data, {"name", "seed", "faults", "fuse_dir"}, "plan")
+        faults = data.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise FaultPlanError(
+                f"plan.faults: expected a list, got {faults!r}"
+            )
+        return cls(
+            name=data.get("name", "chaos"),
+            seed=data.get("seed", 0),
+            faults=tuple(
+                fault if isinstance(fault, FaultSpec) else FaultSpec.from_dict(fault)
+                for fault in faults
+            ),
+            fuse_dir=data.get("fuse_dir"),
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON form — the plan's identity."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def schedule(self, site: str, n: int) -> list:
+        """Preview the first ``n`` hits at ``site``: fired kind or None.
+
+        A pure function of ``(plan, site, n)`` — this is the sequence a
+        fresh per-process injector produces, before ``"global"``-scope
+        fuse arbitration (which can only turn a fire into a skip).  Used
+        by tests and the resilience bench to assert that one seed means
+        one schedule.
+        """
+        state = SiteSchedule(self, site)
+        out = []
+        for _ in range(max(n, 0)):
+            choice = state.next_hit()
+            out.append(None if choice is None else choice[1].kind)
+        return out
+
+
+def _derive_seed(seed: int, site: str, position: int) -> int:
+    token = f"{seed}:{site}:{position}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+class SiteSchedule:
+    """The deterministic hit-by-hit schedule of one site.
+
+    Shared by :class:`~repro.faults.FaultInjector` (live) and
+    :meth:`FaultPlan.schedule` (preview) so the two can never drift.
+    Not thread-safe on its own — the injector serializes access.
+    """
+
+    def __init__(self, plan: FaultPlan, site: str):
+        self.specs = [
+            (position, spec)
+            for position, spec in enumerate(plan.faults)
+            if spec.site == site
+        ]
+        self._rngs = [
+            random.Random(_derive_seed(plan.seed, site, position))
+            for position, _ in self.specs
+        ]
+        self.fired = [0] * len(self.specs)
+        self.hits = 0
+
+    def next_hit(self):
+        """Advance one hit; returns ``(slot, spec)`` for a fire, or None.
+
+        Every rate-based spec consumes exactly one draw per hit whether
+        or not it wins, so the choice at hit N never depends on which
+        earlier spec fired.
+        """
+        index = self.hits
+        self.hits += 1
+        chosen = None
+        for slot, (_, spec) in enumerate(self.specs):
+            draw = self._rngs[slot].random() if spec.rate > 0.0 else 1.0
+            if chosen is not None:
+                continue
+            if spec.limit is not None and self.fired[slot] >= spec.limit:
+                continue
+            if index in spec.at or draw < spec.rate:
+                chosen = (slot, spec)
+        if chosen is not None:
+            self.fired[chosen[0]] += 1
+        return chosen
+
+
+def load_fault_plan(path) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file.
+
+    Raises:
+        FaultPlanError: unreadable file, bad JSON, or invalid plan —
+            the message names the path.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise FaultPlanError(f"fault plan {str(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(
+            f"fault plan {str(path)!r}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise FaultPlanError(
+            f"fault plan {str(path)!r}: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return FaultPlan.from_dict(data)

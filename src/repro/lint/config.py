@@ -61,6 +61,7 @@ class LintConfig:
         "*/repro/experiments/sweep.py",
         "*/repro/service/spec.py",
         "*/repro/server/protocol.py",
+        "*/repro/faults/plan.py",
     )
     lock_scopes: tuple[LockScope, ...] = (
         LockScope("*/repro/service/cache.py", ("_entries", "_sizes")),

@@ -28,6 +28,7 @@ from .client import (
     BadRequestError,
     RequestTimeoutError,
     ServerClient,
+    ServerClosedError,
     ServerError,
     ServerShuttingDownError,
     wait_for_server,
@@ -44,6 +45,7 @@ __all__ = [
     "ReproServer",
     "RequestTimeoutError",
     "ServerClient",
+    "ServerClosedError",
     "ServerError",
     "ServerShuttingDownError",
     "wait_for_server",

@@ -18,6 +18,7 @@ spec is wrong" (:class:`BadRequestError`) without string matching.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 
@@ -42,6 +43,17 @@ from .protocol import (
     parse_frame,
     read_frame,
 )
+
+
+class ServerClosedError(ConnectionError):
+    """The daemon closed the connection mid-conversation (EOF on read).
+
+    A subclass of :class:`ConnectionError` so existing ``except
+    ConnectionError`` handlers (and :func:`wait_for_server`) keep
+    working, but typed so callers — and the client's own retry layer —
+    can tell a *server-initiated* close apart from every other socket
+    failure without string matching.
+    """
 
 
 class ServerError(RuntimeError):
@@ -116,6 +128,23 @@ class ServerClient:
             to :meth:`run`.  ``None`` blocks indefinitely.
         max_frame_bytes: per-line ceiling for incoming frames (matches
             the daemon's unless deliberately testing oversized replies).
+        max_retries: extra attempts per request after a *transient*
+            failure — :class:`BackpressureError` (queue full; the daemon
+            never admitted the request) or a dropped connection
+            (:class:`ServerClosedError` / any :class:`OSError`; the
+            client reconnects transparently and re-sends).  ``0`` (the
+            default) keeps the historical fail-fast behavior.  Requests
+            are pure specs served by a deterministic engine, so a replay
+            returns byte-identical results.  Rejections that would fail
+            identically on replay (:class:`BadRequestError`,
+            :class:`RequestTimeoutError`,
+            :class:`ServerShuttingDownError`, protocol violations) are
+            **never** retried.
+        backoff_base_s / backoff_cap_s: capped exponential backoff
+            between attempts: ``min(cap, base * 2**n)`` scaled by a
+            deterministic jitter factor in ``[0.5, 1.0)`` drawn from
+            ``retry_seed`` — two clients with different seeds desynchronize,
+            one client replays the same schedule every run.
     """
 
     def __init__(
@@ -125,11 +154,25 @@ class ServerClient:
         *,
         timeout_s: float | None = 60.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_seed: int = 0,
     ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries: must be >= 0, got {max_retries}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff_base_s/backoff_cap_s: must be >= 0")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.max_frame_bytes = max_frame_bytes
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        #: Cumulative retry causes over this client's lifetime.
+        self.retry_stats = {"backpressure": 0, "reconnect": 0}
+        self._retry_rng = random.Random(retry_seed)
         self._sock: socket.socket | None = None
         self._reader = None
         self._counter = 0
@@ -173,7 +216,7 @@ class ServerClient:
         data = read_frame(self._reader, self.max_frame_bytes)
         if data is None:
             self.close()
-            raise ConnectionError("server closed the connection")
+            raise ServerClosedError("server closed the connection")
         return parse_frame(data)
 
     def _expect(self, request_id: str, kind):
@@ -191,6 +234,38 @@ class ServerClient:
                 f"got {frame.type!r}"
             )
 
+    # -- retry discipline --------------------------------------------------------
+
+    def _backoff_s(self, tries: int) -> float:
+        """Capped exponential backoff with deterministic jitter."""
+        window = min(self.backoff_cap_s, self.backoff_base_s * (2**tries))
+        return window * (0.5 + 0.5 * self._retry_rng.random())
+
+    def _with_retries(self, attempt):
+        """Run ``attempt`` with up to ``max_retries`` transient retries.
+
+        Retryable: :class:`BackpressureError` (the daemon refused
+        admission — the connection is fine, just wait) and any
+        :class:`OSError` including :class:`ServerClosedError` (the
+        connection is dead — drop it so the next attempt reconnects via
+        :meth:`_send`).  Everything else propagates on first failure.
+        """
+        tries = 0
+        while True:
+            try:
+                return attempt()
+            except BackpressureError:
+                if tries >= self.max_retries:
+                    raise
+                self.retry_stats["backpressure"] += 1
+            except OSError:
+                self.close()
+                if tries >= self.max_retries:
+                    raise
+                self.retry_stats["reconnect"] += 1
+            time.sleep(self._backoff_s(tries))
+            tries += 1
+
     # -- request methods ---------------------------------------------------------
 
     def run(self, scenario, timeout_s: float | None = None) -> RunResult:
@@ -202,21 +277,27 @@ class ServerClient:
             timeout_s: per-request deadline (``None`` = daemon default).
 
         Raises:
-            BackpressureError: the daemon's request queue is full.
+            BackpressureError: the daemon's request queue is full (after
+                ``max_retries`` backed-off re-attempts, if configured).
             RequestTimeoutError: the deadline fired.
             BadRequestError: the spec or frame was rejected.
             ServerShuttingDownError: the daemon is draining.
             ServerError: any other server-side failure.
         """
-        request = RunRequest(
-            id=self._next_id(),
-            scenario=self._as_scenario(scenario),
-            stream=False,
-            timeout_s=timeout_s,
-        )
-        self._send(request)
-        reply = self._expect(request.id, ResultResponse)
-        return RunResult(scenario=reply.scenario, outcome=reply.outcome)
+        spec = self._as_scenario(scenario)
+
+        def attempt() -> RunResult:
+            request = RunRequest(
+                id=self._next_id(),
+                scenario=spec,
+                stream=False,
+                timeout_s=timeout_s,
+            )
+            self._send(request)
+            reply = self._expect(request.id, ResultResponse)
+            return RunResult(scenario=reply.scenario, outcome=reply.outcome)
+
+        return self._with_retries(attempt)
 
     def run_streaming(
         self, scenario, on_stats=None, timeout_s: float | None = None
@@ -229,53 +310,72 @@ class ServerClient:
         The returned :class:`RunResult` reassembles the streamed rows
         into a :class:`~repro.stream.StreamOutcome` equal to what
         non-streaming :meth:`run` returns for the same scenario.
+
+        With ``max_retries > 0``, a connection dropped mid-stream
+        replays the request from frame 0 — the stream is deterministic,
+        but ``on_stats`` will see the already-delivered prefix again.
         """
-        request = RunRequest(
-            id=self._next_id(),
-            scenario=self._as_scenario(scenario),
-            stream=True,
-            timeout_s=timeout_s,
-        )
-        self._send(request)
-        frames = []
-        while True:
-            frame = self._read()
-            if getattr(frame, "id", None) not in (request.id, ""):
-                continue
-            if isinstance(frame, ErrorResponse):
-                _raise_for(frame)
-            if isinstance(frame, FrameChunk):
-                frames.append(frame.stats)
-                if on_stats is not None:
-                    on_stats(frame.stats)
-                continue
-            if isinstance(frame, StreamEnd):
-                if frame.n_frames != len(frames):
-                    raise ProtocolError(
-                        f"stream for {request.id!r} ended after {len(frames)} "
-                        f"frame(s) but announced {frame.n_frames}"
-                    )
-                outcome = StreamOutcome(
-                    system=frame.system,
-                    frames=frames,
-                    wall_time_s=frame.wall_time_s,
-                )
-                return RunResult(scenario=request.scenario, outcome=outcome)
-            raise ProtocolError(
-                f"expected 'frame'/'end' for {request.id!r}, got {frame.type!r}"
+        spec = self._as_scenario(scenario)
+
+        def attempt() -> RunResult:
+            request = RunRequest(
+                id=self._next_id(),
+                scenario=spec,
+                stream=True,
+                timeout_s=timeout_s,
             )
+            self._send(request)
+            frames = []
+            while True:
+                frame = self._read()
+                if getattr(frame, "id", None) not in (request.id, ""):
+                    continue
+                if isinstance(frame, ErrorResponse):
+                    _raise_for(frame)
+                if isinstance(frame, FrameChunk):
+                    frames.append(frame.stats)
+                    if on_stats is not None:
+                        on_stats(frame.stats)
+                    continue
+                if isinstance(frame, StreamEnd):
+                    if frame.n_frames != len(frames):
+                        raise ProtocolError(
+                            f"stream for {request.id!r} ended after "
+                            f"{len(frames)} frame(s) but announced "
+                            f"{frame.n_frames}"
+                        )
+                    outcome = StreamOutcome(
+                        system=frame.system,
+                        frames=frames,
+                        wall_time_s=frame.wall_time_s,
+                    )
+                    return RunResult(scenario=request.scenario, outcome=outcome)
+                raise ProtocolError(
+                    f"expected 'frame'/'end' for {request.id!r}, "
+                    f"got {frame.type!r}"
+                )
+
+        return self._with_retries(attempt)
 
     def ping(self) -> str:
         """Liveness probe; returns the daemon's package version."""
-        request = PingRequest(id=self._next_id())
-        self._send(request)
-        return self._expect(request.id, PongResponse).version
+
+        def attempt() -> str:
+            request = PingRequest(id=self._next_id())
+            self._send(request)
+            return self._expect(request.id, PongResponse).version
+
+        return self._with_retries(attempt)
 
     def stats(self) -> StatsResponse:
         """The daemon's observability snapshot (queue depth, cache tiers)."""
-        request = StatsRequest(id=self._next_id())
-        self._send(request)
-        return self._expect(request.id, StatsResponse)
+
+        def attempt() -> StatsResponse:
+            request = StatsRequest(id=self._next_id())
+            self._send(request)
+            return self._expect(request.id, StatsResponse)
+
+        return self._with_retries(attempt)
 
     def shutdown(self, drain: bool = True) -> str:
         """Ask the daemon to stop; returns its acknowledgement detail.

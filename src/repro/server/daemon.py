@@ -39,12 +39,15 @@ import queue
 import socket
 import sys
 import threading
+import time
 import traceback
 from pathlib import Path
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from .. import __version__
+from ..faults.injector import InjectedFault
+from ..faults.runtime import as_injector, default_injector
 from ..service.engine import Engine
 from ..service.executor import Executor, make_executor
 from ..service.spec import ScenarioSpec, SpecError, coerce_service_spec, load_spec
@@ -185,6 +188,12 @@ class ReproServer:
             bit-identical to the run that populated it (ignored when
             ``spec`` is an already-constructed engine, which brings its
             own cache).
+        faults: a :class:`~repro.faults.FaultPlan` (or injector, dict, or
+            plan path) arming the daemon's ``server.reply`` /
+            ``server.stream`` injection sites and threaded into the
+            engine (and from there to executor workers).  ``None``
+            inherits the ambient ``REPRO_FAULT_PLAN`` plan; with neither,
+            injection is entirely dormant.
 
     Lifecycle: :meth:`start` binds and spawns the accept loop (the
     constructor does not touch the network); :meth:`shutdown` stops it —
@@ -203,18 +212,24 @@ class ReproServer:
         request_timeout_s: float | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         store=None,
+        faults=None,
     ):
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.faults = (
+            as_injector(faults) if faults is not None else default_injector()
+        )
         if isinstance(spec, Engine):
             self.engine = spec
+            if self.faults is None:
+                self.faults = spec.faults
             default_executor, default_workers = spec.executor, spec.workers
         else:
             if isinstance(spec, (str, Path)):
                 service = load_spec(spec)
             else:
                 service = coerce_service_spec(spec)
-            self.engine = Engine(service.system, store=store)
+            self.engine = Engine(service.system, store=store, faults=self.faults)
             default_executor, default_workers = service.executor, service.workers
         self.workers = workers if workers is not None else default_workers
         if self.workers < 1:
@@ -535,6 +550,8 @@ class ReproServer:
                 )
             )
             return
+        if not self._inject_reply_fault(connection, request.id):
+            return
         if request.stream:
             # The worker already streamed every FrameChunk (synchronously,
             # before resolving the future); close the stream.
@@ -566,6 +583,51 @@ class ReproServer:
             else:
                 connection.send(response)
 
+    # -- fault injection (chaos testing) -------------------------------------------
+
+    def _inject_reply_fault(self, connection: _Connection, request_id: str) -> bool:
+        """Fire the ``server.reply`` site; ``False`` aborts the reply.
+
+        ``socket-drop`` closes the connection before the reply frame is
+        written (the client observes a server-initiated close and, if
+        retrying, reconnects and replays); ``reply-delay`` sleeps the
+        spec's ``delay_s`` first; any other scheduled kind is a no-op at
+        this site.
+        """
+        if self.faults is None:
+            return True
+        spec = self.faults.fire("server.reply")
+        if spec is None:
+            return True
+        if spec.kind == "reply-delay":
+            time.sleep(spec.delay_s)
+            return True
+        if spec.kind == "socket-drop":
+            connection.close()
+            return False
+        return True
+
+    def _inject_stream_fault(self, connection: _Connection) -> None:
+        """Fire the ``server.stream`` site (once per outgoing frame).
+
+        ``socket-drop`` closes the connection mid-stream; ``reply-delay``
+        stalls the frame; ``worker-crash`` (or any other kind) raises
+        :class:`~repro.faults.InjectedFault` — the streaming compute dies
+        exactly as a real mid-run failure would, and the client gets a
+        typed ``"internal"`` error frame instead of a truncated stream.
+        """
+        if self.faults is None:
+            return
+        spec = self.faults.fire("server.stream")
+        if spec is None:
+            return
+        if spec.kind == "reply-delay":
+            time.sleep(spec.delay_s)
+        elif spec.kind == "socket-drop":
+            connection.close()
+        else:
+            raise InjectedFault("server.stream", spec.kind)
+
     def _worker_loop(self) -> None:
         """Serving worker: pull admitted jobs, compute, resolve futures."""
         while True:
@@ -582,6 +644,7 @@ class ReproServer:
                         # Streaming computes in-daemon: per-frame ledgers
                         # must reach the socket as the runner yields them.
                         def on_stats(stats, _req=request, _conn=job.connection):
+                            self._inject_stream_fault(_conn)
                             _conn.send_stream_frame(
                                 _req.id, FrameChunk(id=_req.id, stats=stats)
                             )
@@ -644,10 +707,21 @@ class ReproServer:
                 "evictions": snap.evictions,
                 "errors": snap.errors,
             }
+        # Resilience counters: executor self-healing (pool respawns and
+        # re-dispatched work units) plus this process's injected-fault
+        # tally.  Worker processes keep their own injectors, so worker-side
+        # fires are visible here only through their *effects* (respawns).
+        resilience: dict = {}
+        exec_counters = getattr(self.executor, "resilience_stats", None)
+        if exec_counters is not None:
+            resilience["executor"] = exec_counters()
+        if self.faults is not None:
+            resilience["faults"] = self.faults.counters()
         return StatsResponse(
             id=request_id,
             requests_served=served,
             queue_depth=self._queue.qsize(),
             draining=self._draining.is_set(),
             cache=cache,
+            resilience=resilience,
         )

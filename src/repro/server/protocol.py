@@ -387,6 +387,11 @@ class StatsResponse:
         draining: whether the daemon has begun shutting down.
         cache: per-tier counters —
             ``{"clips"|"results": {"hits", "misses", "evictions"}}``.
+        resilience: two-level counters mirroring ``cache``'s shape —
+            ``{"executor": {"respawns", "redispatched_units"},
+            "faults": {"<site>:<kind>": fires}}``.  Empty when no fault
+            plan is active and the executor has never self-healed;
+            optional on the wire so newer clients read older daemons.
     """
 
     id: str
@@ -394,6 +399,7 @@ class StatsResponse:
     queue_depth: int
     draining: bool
     cache: dict = field(default_factory=dict)
+    resilience: dict = field(default_factory=dict)
 
     def __hash__(self):
         return hash((self.id, self.requests_served, self.queue_depth, self.draining))
@@ -410,11 +416,23 @@ class StatsResponse:
             "cache": {
                 tier: dict(counters) for tier, counters in self.cache.items()
             },
+            "resilience": {
+                group: dict(counters)
+                for group, counters in self.resilience.items()
+            },
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "StatsResponse":
-        known = {"type", "id", "requests_served", "queue_depth", "draining", "cache"}
+        known = {
+            "type",
+            "id",
+            "requests_served",
+            "queue_depth",
+            "draining",
+            "cache",
+            "resilience",
+        }
         _reject_unknown(data, known, "server-stats")
         request_id = _require_id(data, "server-stats")
         for fieldname in ("requests_served", "queue_depth", "draining", "cache"):
@@ -434,12 +452,25 @@ class StatsResponse:
                 _require(
                     value, f"server-stats.cache.{tier}.{counter}", int, "int"
                 )
+        # Optional: absent in frames from pre-resilience daemons.
+        resilience = _require(
+            data.get("resilience", {}), "server-stats.resilience", dict, "dict"
+        )
+        for group, counters in resilience.items():
+            _require(counters, f"server-stats.resilience.{group}", dict, "dict")
+            for counter, value in counters.items():
+                _require(
+                    value, f"server-stats.resilience.{group}.{counter}", int, "int"
+                )
         return cls(
             id=request_id,
             requests_served=served,
             queue_depth=depth,
             draining=draining,
             cache={tier: dict(counters) for tier, counters in cache.items()},
+            resilience={
+                group: dict(counters) for group, counters in resilience.items()
+            },
         )
 
 

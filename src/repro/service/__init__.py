@@ -51,6 +51,7 @@ from .executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    WorkUnitRetryError,
     make_executor,
 )
 from .registry import (
@@ -98,6 +99,7 @@ __all__ = [
     "ThreadExecutor",
     "TierStats",
     "UnknownComponentError",
+    "WorkUnitRetryError",
     "list_components",
     "load_spec",
     "make_executor",

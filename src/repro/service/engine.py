@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
 from ..core.profiling import PhaseProfile, PhaseProfiler
+from ..faults.runtime import as_injector, default_injector
 from ..stream.ledger import StreamOutcome
 from ..stream.runner import StreamRunner
 from . import components as _components  # noqa: F401  (populates registries)
@@ -210,6 +211,12 @@ class Engine:
             (and the merged breakdown on ``BatchResult.profile``).
             Profiled requests bypass the result-memo tier — profiling
             measures real work, and a cache hit has no phases.
+        faults: optional fault injection — a
+            :class:`~repro.faults.FaultPlan` (or injector/dict/JSON
+            path); defaults to the ambient ``REPRO_FAULT_PLAN`` plan
+            when unset.  The engine itself has no injection sites; it
+            carries the injector so the process executor can ship the
+            plan to its workers (``worker.run`` faults fire there).
     """
 
     def __init__(
@@ -221,6 +228,7 @@ class Engine:
         cache: EngineCache | None = None,
         profile: bool = False,
         store=None,
+        faults=None,
     ):
         self.spec = spec if spec is not None else SystemSpec()
         self.scenarios = tuple(scenarios)
@@ -233,6 +241,9 @@ class Engine:
         self.executor = executor
         self.cache = cache if cache is not None else EngineCache(store=store)
         self.profile = profile
+        self.faults = (
+            as_injector(faults) if faults is not None else default_injector()
+        )
         # The system never changes over the engine's lifetime: hash it once
         # so per-request keys only hash the scenario.
         self._system_key = spec_fingerprint(self.spec.to_dict())
@@ -241,20 +252,25 @@ class Engine:
         self.spec.classifier.resolve(CLASSIFIERS, "system.classifier")
 
     @classmethod
-    def from_spec(cls, spec) -> "Engine":
+    def from_spec(cls, spec, faults=None) -> "Engine":
         """Build an engine from a spec in any serialized form.
 
         Args:
             spec: a JSON file path (``str`` or :class:`~pathlib.Path`), a
                 dict (full service layout or a bare system spec), a
                 :class:`SystemSpec`, or a :class:`ServiceSpec`.
+            faults: optional fault plan/injector (see :meth:`__init__`).
         """
         if isinstance(spec, (str, Path)):
             service = load_spec(spec)
         else:
             service = coerce_service_spec(spec)
         return cls(
-            service.system, service.scenarios, service.workers, service.executor
+            service.system,
+            service.scenarios,
+            service.workers,
+            service.executor,
+            faults=faults,
         )
 
     # -- request construction ----------------------------------------------------

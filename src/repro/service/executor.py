@@ -38,8 +38,11 @@ instance to :meth:`Engine.run_batch` to reuse a warm pool across batches
 from __future__ import annotations
 
 import os
+import sys
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from threading import Lock
 from typing import TYPE_CHECKING, Sequence
@@ -55,6 +58,31 @@ EXECUTOR_NAMES = ("serial", "thread", "process")
 
 #: How :class:`ProcessExecutor` ships parent-held clips to its workers.
 CLIP_TRANSPORTS = ("shm", "pickle", "none")
+
+
+class WorkUnitRetryError(RuntimeError):
+    """A work unit's retry budget is exhausted: its worker kept dying.
+
+    Raised by :class:`ProcessExecutor` when re-dispatching after pool
+    respawns has failed ``attempts`` times for the same chunk of work
+    units.  Deterministic failures inside a unit (exceptions) propagate
+    as themselves — only hard worker deaths (``BrokenProcessPool``, a
+    chunk deadline) are retried, so reaching this error means the
+    environment, not the spec, is broken.
+
+    Attributes:
+        labels: the affected work units' scenario labels.
+        attempts: how many times the chunk was dispatched.
+    """
+
+    def __init__(self, labels, attempts: int):
+        self.labels = tuple(labels)
+        self.attempts = attempts
+        units = ", ".join(repr(label) for label in self.labels)
+        super().__init__(
+            f"work unit(s) {units}: worker died on all {attempts} "
+            f"attempt(s); retry budget exhausted"
+        )
 
 
 class Executor:
@@ -206,6 +234,7 @@ def _run_chunk(
     profile: bool = False,
     clips: dict | None = None,
     store_dir: str | None = None,
+    fault_plan: dict | None = None,
 ):
     """Worker entry point: serve one chunk against a per-process engine.
 
@@ -227,9 +256,23 @@ def _run_chunk(
     vanished shared segment just falls back to rendering).  ``store_dir``
     points the worker at the parent's on-disk store so its own renders
     and results persist too.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan` dict) rebuilds the
+    parent's fault injector worker-side; with none shipped, the ambient
+    ``REPRO_FAULT_PLAN`` environment (inherited across spawn) still
+    applies.  A ``worker-crash`` fault at the ``worker.run`` site exits
+    this process hard (``os._exit``) — the parent observes a broken pool
+    and re-dispatches.
     """
+    from ..faults.injector import FaultInjector
+    from ..faults.runtime import default_injector
     from .cache import EngineCache, spec_fingerprint
     from .engine import Engine
+
+    if fault_plan is not None:
+        injector = FaultInjector.from_dict(fault_plan)
+    else:
+        injector = default_injector()
 
     cache_key = (cache_capacities, store_dir)
     clip_capacity, result_capacity = cache_capacities
@@ -254,20 +297,43 @@ def _run_chunk(
         _WORKER_ENGINES.popitem(last=False)
     engine.profile = profile
     if clips:
-        from ..store.shm import attach_clip
+        from ..store.shm import ClipSegmentGoneError, attach_clip
 
+        unit_ids = [scenario.name or f"scenario[{index}]" for index, scenario in items]
         for raw_key, (transport, payload) in clips.items():
             epoch_key = engine._epoch_key(raw_key)
             if engine.cache.clips.get_cached(epoch_key) is not None:
                 continue
             if transport == "shm":
                 try:
-                    payload = attach_clip(payload)
-                except (OSError, ValueError):
-                    continue  # segment gone or mangled: render it ourselves
+                    payload = attach_clip(payload, faults=injector)
+                except ClipSegmentGoneError:
+                    # The designed fallback signal: the parent tore the
+                    # batch down (or a fault plan said so).  Render it
+                    # ourselves; nothing is wrong enough to log.
+                    continue
+                except (OSError, ValueError) as exc:
+                    # Any *other* attach failure is survivable the same
+                    # way but unexpected — say so, naming the work units
+                    # that will pay the re-render.
+                    print(
+                        f"[repro-worker pid={os.getpid()}] shm attach of "
+                        f"clip for work unit(s) {unit_ids} failed "
+                        f"({type(exc).__name__}: {exc}); rendering locally",
+                        file=sys.stderr,
+                    )
+                    continue
             engine.cache.clips.put(epoch_key, payload)
     before = engine.cache.clips.stats.snapshot()
-    results = [(index, engine.run(scenario)) for index, scenario in items]
+    results = []
+    for index, scenario in items:
+        if injector is not None:
+            spec = injector.fire("worker.run")
+            if spec is not None and spec.kind == "worker-crash":
+                # A hard death, not an exception: the pool must see a
+                # vanished process, exactly like an OOM kill or segfault.
+                os._exit(17)
+        results.append((index, engine.run(scenario)))
     return results, engine.cache.clips.stats - before
 
 
@@ -298,11 +364,32 @@ class ProcessExecutor(Executor):
       pre-store behavior).
 
     The default comes from ``REPRO_CLIP_TRANSPORT`` when set.
+
+    **Self-healing**: a dead worker (OOM kill, segfault, an injected
+    ``worker-crash`` fault) breaks the whole pool —
+    :class:`BrokenProcessPool` — and used to kill the whole batch.  Now
+    the executor respawns the pool and re-dispatches the affected work
+    units, up to ``max_unit_retries`` re-dispatches per unit.  Replay is
+    safe by construction: work units are pure picklable specs, so a
+    retried unit's result is bit-identical to an undisturbed run.
+    Exhausting the budget raises :class:`WorkUnitRetryError` naming the
+    units; deterministic in-unit exceptions are never retried (they
+    would fail identically).  ``chunk_timeout_s`` (optional) treats a
+    chunk exceeding the deadline as a dead worker too — a sentinel
+    against wedged (not just dead) processes; the abandoned pool is shut
+    down without waiting.  :meth:`resilience_stats` reports respawns and
+    re-dispatched units (surfaced by the daemon's ``stats``).
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 1, clip_transport: str | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        clip_transport: str | None = None,
+        max_unit_retries: int = 2,
+        chunk_timeout_s: float | None = None,
+    ):
         super().__init__(workers)
         if clip_transport is None:
             clip_transport = os.environ.get("REPRO_CLIP_TRANSPORT") or "shm"
@@ -311,9 +398,20 @@ class ProcessExecutor(Executor):
                 f"clip_transport: unknown transport {clip_transport!r}; "
                 f"known transports: {list(CLIP_TRANSPORTS)}"
             )
+        if max_unit_retries < 0:
+            raise ValueError(
+                f"max_unit_retries must be >= 0, got {max_unit_retries}"
+            )
+        if chunk_timeout_s is not None and chunk_timeout_s <= 0:
+            raise ValueError(
+                f"chunk_timeout_s must be > 0 (or None), got {chunk_timeout_s}"
+            )
         self.clip_transport = clip_transport
+        self.max_unit_retries = max_unit_retries
+        self.chunk_timeout_s = chunk_timeout_s
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = Lock()
+        self._resilience = {"respawns": 0, "redispatched_units": 0}
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         # Locked: a serving daemon's worker threads may race the first
@@ -324,6 +422,28 @@ class ProcessExecutor(Executor):
                     max_workers=self.workers, mp_context=get_context("spawn")
                 )
             return self._pool
+
+    def _respawn_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Retire a broken pool; the next :meth:`_ensure_pool` respawns.
+
+        Guarded against concurrent ``execute`` calls (daemon worker
+        threads share one executor): only the call whose pool is still
+        the current one swaps it out — a second caller observing the
+        same broken pool must not tear down the replacement.
+        """
+        with self._pool_lock:
+            if self._pool is broken:
+                self._pool = None
+            self._resilience["respawns"] += 1
+        try:
+            broken.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - a broken pool may refuse cleanup
+            pass
+
+    def resilience_stats(self) -> dict:
+        """Cumulative self-healing counters: respawns, re-dispatched units."""
+        with self._pool_lock:
+            return dict(self._resilience)
 
     def execute(self, engine, scenarios, cache_delta=None):
         results = [None] * len(scenarios)
@@ -366,19 +486,35 @@ class ProcessExecutor(Executor):
             )
             store = getattr(engine.cache, "store", None)
             store_dir = None if store is None else str(store.root)
-            pool = self._ensure_pool()
+            faults = getattr(engine, "faults", None)
+            fault_plan = None if faults is None else faults.plan.to_dict()
             # One lease per distinct shared clip, acquired once per chunk
             # it rides in and released as that chunk's future completes;
             # the finally-destroy covers every failure path, so no
             # /dev/shm segment can outlive this call.
             leases: "dict[str, SharedClipLease]" = {}
-            dispatched: list = []
+            # Self-healing dispatch: each round submits the outstanding
+            # chunks, collects results, and turns hard worker deaths
+            # (BrokenProcessPool / an expired chunk deadline) into a pool
+            # respawn plus re-dispatch of exactly the affected chunks.
+            # Attempts are bounded per chunk (== per work unit: a chunk's
+            # composition never changes), so a fault that kills every
+            # attempt surfaces as a typed WorkUnitRetryError.  In-unit
+            # exceptions propagate immediately: deterministic work would
+            # fail identically on replay.
+            rounds = [(chunk, 1) for chunk in _chunk_by_clip(unique, self.workers)]
             try:
-                for chunk in _chunk_by_clip(unique, self.workers):
-                    clips, chunk_leases = self._collect_clips(engine, chunk, leases)
-                    dispatched.append(
-                        (
-                            pool.submit(
+                while rounds:
+                    pool = self._ensure_pool()
+                    dispatched: list = []
+                    failed: list = []
+                    pool_broken = False
+                    for chunk, attempts in rounds:
+                        clips, chunk_leases = self._collect_clips(
+                            engine, chunk, leases
+                        )
+                        try:
+                            future = pool.submit(
                                 _run_chunk,
                                 engine.spec,
                                 chunk,
@@ -386,25 +522,59 @@ class ProcessExecutor(Executor):
                                 engine.profile,
                                 clips,
                                 store_dir,
-                            ),
-                            chunk_leases,
+                                fault_plan,
+                            )
+                        except (BrokenProcessPool, RuntimeError):
+                            # The pool died under a previous submit (or
+                            # was broken on arrival): everything not yet
+                            # dispatched this round retries next round.
+                            for lease in chunk_leases:
+                                lease.release()
+                            pool_broken = True
+                            failed.append((chunk, attempts))
+                            continue
+                        dispatched.append((future, chunk, chunk_leases, attempts))
+                    for future, chunk, chunk_leases, attempts in dispatched:
+                        try:
+                            try:
+                                chunk_results, clip_stats = future.result(
+                                    timeout=self.chunk_timeout_s
+                                )
+                            except (BrokenProcessPool, FutureTimeoutError):
+                                pool_broken = True
+                                failed.append((chunk, attempts))
+                                continue
+                        finally:
+                            for lease in chunk_leases:
+                                lease.release()
+                        engine.cache.clips.merge_stats(
+                            clip_stats,
+                            delta=None if cache_delta is None else cache_delta.clips,
                         )
-                    )
-                for future, chunk_leases in dispatched:
-                    try:
-                        chunk_results, clip_stats = future.result()
-                    finally:
-                        for lease in chunk_leases:
-                            lease.release()
-                    engine.cache.clips.merge_stats(
-                        clip_stats,
-                        delta=None if cache_delta is None else cache_delta.clips,
-                    )
-                    for index, result in chunk_results:
-                        key = keys[index] if keys[index] is not None else ("solo", index)
-                        engine.cache.results.put(keys[index], result)
-                        for duplicate in pending[key]:
-                            results[duplicate] = result
+                        for index, result in chunk_results:
+                            key = (
+                                keys[index]
+                                if keys[index] is not None
+                                else ("solo", index)
+                            )
+                            engine.cache.results.put(keys[index], result)
+                            for duplicate in pending[key]:
+                                results[duplicate] = result
+                    if pool_broken:
+                        self._respawn_pool(pool)
+                    rounds = []
+                    for chunk, attempts in failed:
+                        if attempts > self.max_unit_retries:
+                            raise WorkUnitRetryError(
+                                [
+                                    scenario.name or f"scenario[{index}]"
+                                    for index, scenario in chunk
+                                ],
+                                attempts,
+                            )
+                        with self._pool_lock:
+                            self._resilience["redispatched_units"] += len(chunk)
+                        rounds.append((chunk, attempts + 1))
             finally:
                 for lease in leases.values():
                     lease.destroy()
@@ -437,10 +607,18 @@ class ProcessExecutor(Executor):
                 continue
             if self.clip_transport == "shm":
                 lease = leases.get(raw_key)
+                if lease is not None and not lease.alive:
+                    # A previous dispatch round drained this lease to
+                    # zero when its chunk failed; the segment is already
+                    # unlinked, so a re-dispatch needs a fresh one.
+                    del leases[raw_key]
+                    lease = None
                 if lease is None:
                     from ..store.shm import share_clip
 
-                    lease = share_clip(clip)
+                    lease = share_clip(
+                        clip, faults=getattr(engine, "faults", None)
+                    )
                     if lease is not None:
                         leases[raw_key] = lease
                 if lease is not None:

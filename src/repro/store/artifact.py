@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Lock
 
+from ..faults.runtime import as_injector, default_injector
+
 #: Returned by :meth:`ArtifactStore.load` when the key is absent (or its
 #: file failed verification).  A dedicated sentinel, not ``None``: the
 #: store must be able to hold any picklable value.
@@ -122,17 +124,32 @@ class ArtifactStore:
             budget; GC only when :meth:`gc` is called with one).  The
             entry just written is never evicted by its own put, so a
             single oversized object still round-trips.
+        faults: a :class:`~repro.faults.FaultPlan` (or injector, dict, or
+            plan path) scheduling ``store.load``/``store.put`` faults;
+            ``None`` inherits the ambient ``REPRO_FAULT_PLAN`` plan.
+            Injected faults are :class:`~repro.faults.InjectedFault`
+            (an ``OSError``) raised exactly where a real disk error
+            would surface, so they exercise the quarantine and
+            failed-write paths below — never new test-only ones.
 
     Thread-safe; safe to open the same root from many processes (atomic
     renames + read-time verification), though LRU recency is then
     per-process best-effort.
     """
 
-    def __init__(self, root: str | Path, max_bytes: int | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int | None = None,
+        faults=None,
+    ):
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"store.max_bytes: must be >= 0, got {max_bytes}")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.faults = (
+            as_injector(faults) if faults is not None else default_injector()
+        )
         self.stats = StoreStats()
         self._lock = Lock()
         self._inflight: dict[tuple[str, str], Lock] = {}
@@ -152,6 +169,7 @@ class ArtifactStore:
         """
         path = self._path(kind, key)
         try:
+            self._maybe_inject("store.load")
             with open(path, "rb") as handle:
                 payload = self._read_verified(handle, kind, key)
         except FileNotFoundError:
@@ -197,7 +215,16 @@ class ArtifactStore:
                 return 0
             blob = self._frame(kind, key, payload)
             path = self._path(kind, key)
-            self._atomic_write(path, blob)
+            try:
+                self._maybe_inject("store.put")
+                self._atomic_write(path, blob)
+            except OSError:
+                # Disk full, permissions, or an injected store.put
+                # fault: the store is a cache, so a failed write is a
+                # lost optimization — count it and keep serving.
+                with self._lock:
+                    self.stats.errors += 1
+                return 0
             with self._lock:
                 self.stats.writes += 1
                 self._clock += 1
@@ -268,6 +295,17 @@ class ArtifactStore:
     def __repr__(self) -> str:
         budget = "unbounded" if self.max_bytes is None else f"{self.max_bytes}B"
         return f"ArtifactStore(root={str(self.root)!r}, {budget})"
+
+    def _maybe_inject(self, site: str) -> None:
+        """Raise :class:`~repro.faults.InjectedFault` if ``site`` fires."""
+        faults = self.faults
+        if faults is None:
+            return
+        spec = faults.fire(site)
+        if spec is not None:
+            from ..faults.injector import InjectedFault
+
+            raise InjectedFault(site, spec.kind)
 
     # -- file layout ---------------------------------------------------------------
 

@@ -112,6 +112,17 @@ class SharedClipLease:
         self._refs = 0
         self._lock = threading.Lock()
 
+    @property
+    def alive(self) -> bool:
+        """Whether the segment is still held (not yet closed/unlinked).
+
+        A dispatcher re-dispatching a failed chunk must not reuse a lease
+        whose refcount already hit zero — that segment is unlinked, and a
+        worker attaching it would find nothing.
+        """
+        with self._lock:
+            return self._shm is not None
+
     def acquire(self) -> "SharedClipLease":
         with self._lock:
             self._refs += 1
@@ -149,14 +160,19 @@ class SharedClipLease:
                 pass
 
 
-def share_clip(clip: SyntheticClip) -> SharedClipLease | None:
+def share_clip(clip: SyntheticClip, faults=None) -> SharedClipLease | None:
     """Copy a clip's contiguous frame block into a shared segment.
 
     Returns ``None`` when the clip has no contiguous block (ragged frame
     shapes/dtypes, or no frames at all) — callers fall back to pickling,
     which handles those layouts already — or when shared memory itself is
-    unavailable on the platform.
+    unavailable on the platform.  An injected ``shm.share`` fault
+    (``faults=`` is a :class:`~repro.faults.FaultInjector` or ``None``)
+    takes the same ``None`` path: sharing failures are designed to
+    degrade to pickling, never to break the batch.
     """
+    if faults is not None and faults.fire("shm.share") is not None:
+        return None
     state = clip.__getstate__()
     block = state.get("frame_stack")
     if block is None:
@@ -196,7 +212,7 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-def attach_clip(handle: SharedClipHandle) -> SyntheticClip:
+def attach_clip(handle: SharedClipHandle, faults=None) -> SyntheticClip:
     """Rebuild a clip from a shared segment (worker side).
 
     The frames are read-only views into the mapping — bit-identical to
@@ -206,9 +222,12 @@ def attach_clip(handle: SharedClipHandle) -> SyntheticClip:
 
     Raises:
         ClipSegmentGoneError: the segment is gone (e.g. the parent
-            already tore the batch down); callers treat this as "render
-            it yourself".
+            already tore the batch down), or an injected ``shm.attach``
+            fault fired; callers treat both identically — "render it
+            yourself".
     """
+    if faults is not None and faults.fire("shm.attach") is not None:
+        raise ClipSegmentGoneError(handle.name)
     try:
         shm = _attach_segment(handle.name)
     except FileNotFoundError as exc:

@@ -79,6 +79,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8",
             "stream", "service", "hotpath", "sweep", "serving", "store",
+            "resilience",
         }
 
     def test_benches_exist_on_disk(self):

@@ -1,0 +1,114 @@
+"""Daemon under injected faults: mid-stream death, drops, stats counters.
+
+Fault schedules are cumulative over the daemon's lifetime, so ``at=(N,)``
+fires exactly once — the request after the faulted one is automatically
+clean, which is exactly the "daemon keeps serving" property under test.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.server import ReproServer, ServerClient, ServerError
+from repro.service import Engine, ScenarioSpec
+
+SYSTEM = {"system": {"system": "hirise"}}
+
+
+def scenario(seed=0, n_frames=5, name=""):
+    return ScenarioSpec.from_dict(
+        {
+            "source": {"name": "pedestrian", "params": {"resolution": [48, 36]}},
+            "n_frames": n_frames,
+            "seed": seed,
+            "name": name or f"fault-{seed}",
+        }
+    )
+
+
+def stream_plan(kind, *hits, delay_s=0.0) -> FaultPlan:
+    return FaultPlan(
+        name=f"stream-{kind}",
+        seed=0,
+        faults=(
+            FaultSpec(
+                site="server.stream", kind=kind, at=hits, delay_s=delay_s
+            ),
+        ),
+    )
+
+
+class TestMidStreamDeath:
+    def test_worker_death_yields_typed_error_then_daemon_survives(self):
+        # The stream dies after exactly 2 delivered frames; the client
+        # gets a typed "internal" error — never a truncated stream or a
+        # hung connection — and the daemon serves the next request.
+        plan = stream_plan("worker-crash", 2)
+        with ReproServer(
+            SYSTEM, workers=1, executor="serial", faults=plan
+        ) as server:
+            with ServerClient(*server.address) as client:
+                seen = []
+                with pytest.raises(ServerError) as excinfo:
+                    client.run_streaming(scenario(seed=1), on_stats=seen.append)
+                assert excinfo.value.code == "internal"
+                assert [s.frame_index for s in seen] == [0, 1]
+                # same connection, same daemon: next request is clean
+                follow_up = client.run_streaming(scenario(seed=2))
+                assert follow_up.outcome.n_frames == 5
+
+    def test_mid_stream_drop_replayed_bit_identically_by_retrying_client(self):
+        # The socket drops after frame 0; a retrying client reconnects
+        # and replays, and the reassembled result matches a fresh
+        # fault-free engine bit for bit.
+        spec = scenario(seed=3)
+        want = Engine.from_spec(SYSTEM).run(spec)
+        plan = stream_plan("socket-drop", 1)
+        with ReproServer(
+            SYSTEM, workers=1, executor="serial", faults=plan
+        ) as server:
+            with ServerClient(*server.address, max_retries=2) as client:
+                result = client.run_streaming(spec)
+                assert client.retry_stats["reconnect"] == 1
+        assert result.outcome.frames == want.outcome.frames
+
+    def test_reply_delay_stalls_but_completes(self):
+        plan = FaultPlan(
+            name="slow",
+            seed=0,
+            faults=(
+                FaultSpec(
+                    site="server.reply",
+                    kind="reply-delay",
+                    at=(0,),
+                    delay_s=0.05,
+                ),
+            ),
+        )
+        with ReproServer(
+            SYSTEM, workers=1, executor="serial", faults=plan
+        ) as server:
+            with ServerClient(*server.address) as client:
+                result = client.run(scenario(seed=4))
+                assert result.outcome.n_frames == 5
+
+
+class TestResilienceStats:
+    def test_fault_counters_surface_in_stats(self):
+        plan = stream_plan("worker-crash", 0)
+        with ReproServer(
+            SYSTEM, workers=1, executor="serial", faults=plan
+        ) as server:
+            with ServerClient(*server.address) as client:
+                with pytest.raises(ServerError):
+                    client.run_streaming(scenario(seed=5))
+                stats = client.stats()
+        assert stats.resilience["faults"] == {
+            "server.stream:worker-crash": 1
+        }
+
+    def test_no_plan_means_no_fault_counters(self):
+        with ReproServer(SYSTEM, workers=1, executor="serial") as server:
+            with ServerClient(*server.address) as client:
+                client.run(scenario(seed=6))
+                stats = client.stats()
+        assert "faults" not in stats.resilience

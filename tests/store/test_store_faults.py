@@ -1,0 +1,96 @@
+"""Store under injected I/O faults and concurrent quarantine races."""
+
+import threading
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.store import MISS, ArtifactStore
+
+
+def io_plan(site, *hits) -> FaultPlan:
+    return FaultPlan(
+        name="store-io",
+        seed=0,
+        faults=(FaultSpec(site=site, kind="store-io-error", at=hits),),
+    )
+
+
+class TestInjectedIOErrors:
+    def test_injected_load_error_degrades_to_miss(self, tmp_path):
+        # Hit 0 of store.load raises mid-read: the store treats it like
+        # any real I/O failure — MISS, quarantine, error counted — and
+        # the next load (hit 1, clean) rebuilds from a fresh put.
+        store = ArtifactStore(tmp_path / "store", faults=io_plan("store.load", 0))
+        store.put("result", "thekey", "payload")
+        assert store.load("result", "thekey") is MISS
+        stats = store.snapshot()
+        assert stats.errors == 1
+        assert stats.misses == 1
+        # quarantined: the poisoned file cannot fail again
+        assert not store._path("result", "thekey").exists()
+        store.put("result", "thekey", "payload")
+        assert store.load("result", "thekey") == "payload"
+
+    def test_injected_put_error_is_swallowed_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", faults=io_plan("store.put", 0))
+        assert store.put("result", "thekey", "payload") == 0
+        assert store.snapshot().errors == 1
+        assert store.load("result", "thekey") is MISS
+        # the store keeps serving: the next put (clean hit) lands
+        assert store.put("result", "thekey", "payload") > 0
+        assert store.load("result", "thekey") == "payload"
+
+    def test_faults_knob_accepts_plan_dict(self, tmp_path):
+        store = ArtifactStore(
+            tmp_path / "store", faults=io_plan("store.load", 0).to_dict()
+        )
+        store.put("result", "k", 1)
+        assert store.load("result", "k") is MISS
+
+    def test_no_faults_means_clean_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("result", "k", 1)
+        assert store.load("result", "k") == 1
+        assert store.snapshot().errors == 0
+
+
+class TestConcurrentQuarantine:
+    def test_concurrent_readers_of_corrupt_entry_all_miss(self, tmp_path):
+        # N threads race to load one corrupted entry. Every reader gets
+        # MISS, none raises, and the entry stays quarantined — it never
+        # resurrects until an explicit re-put.
+        store = ArtifactStore(tmp_path / "store")
+        store.put("result", "shared", list(range(64)))
+        path = store._path("result", "shared")
+        path.write_bytes(b"\x00" * 50)
+
+        n_readers = 8
+        barrier = threading.Barrier(n_readers)
+        results, failures = [], []
+        lock = threading.Lock()
+
+        def read():
+            try:
+                barrier.wait(timeout=10)
+                value = store.load("result", "shared")
+            except Exception as exc:  # noqa: BLE001 - the contract is "never raises"
+                with lock:
+                    failures.append(exc)
+            else:
+                with lock:
+                    results.append(value)
+
+        threads = [threading.Thread(target=read) for _ in range(n_readers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert failures == []
+        assert results == [MISS] * n_readers
+        assert not path.exists()
+        # still a plain MISS afterwards — no resurrection from the index
+        assert store.load("result", "shared") is MISS
+        # an explicit re-put is the only way back
+        store.put("result", "shared", list(range(64)))
+        assert store.load("result", "shared") == list(range(64))
