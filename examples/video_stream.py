@@ -8,11 +8,12 @@ plain data, no hand-wired pipelines — and serves them all through one
 
 * **conventional**   — ship every full frame (Fig. 2a, streamed);
 * **hirise/frame**   — the two-stage HiRISE flow on every frame;
-* **hirise/batch**   — same results bit-for-bit, but stage-1 exposure +
-  analog pooling vectorized over 12-frame windows;
+* **hirise/window**  — same results bit-for-bit, but stage-1 exposure +
+  analog pooling + ADC vectorized over 12-frame windows into a
+  preallocated exposure buffer (``window=12``);
 * **hirise/reuse**   — temporal ROI reuse: frames whose stage-1 results
   proved stable (IoU-gated) skip the pooled conversion *and* the detector,
-  reading only tracker-predicted windows.
+  reading only tracker-predicted windows (composes with ``window=``).
 
 Run:  python examples/video_stream.py
 """
@@ -57,7 +58,7 @@ def main() -> None:
     batch = hirise.run_batch(
         [
             scenario("hirise/frame"),
-            scenario("hirise/batch", batch_size=12),
+            scenario("hirise/window", window=12),
             scenario(
                 "hirise/reuse",
                 policy=ComponentRef("temporal-reuse", {"max_reuse": 3}),

@@ -339,6 +339,7 @@ class SweepSpec:
             policy=type(scenario.policy)("none"),
             batch_size=1,
             keep_outcomes=False,
+            window=1,
         )
 
     # -- serialization -----------------------------------------------------------

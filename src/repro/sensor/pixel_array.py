@@ -42,6 +42,27 @@ def _scene_from_image(image: np.ndarray) -> np.ndarray:
     return scene
 
 
+def _scene_into(image: np.ndarray, out: np.ndarray) -> None:
+    """:func:`_scene_from_image`, but writing into a preallocated frame slot.
+
+    ``out`` is one ``(H, W, 3)`` float64 slice of a reusable exposure-stack
+    buffer.  Every operation is the same float64 arithmetic as the copying
+    path (uint8 values convert to float64 before the divide, float inputs
+    cast exactly), so the written values are bit-identical to what
+    :func:`_scene_from_image` returns — only the allocation is gone.
+    """
+    if image.ndim == 2:
+        image = image[:, :, None]  # broadcasts across the 3 channels below
+    elif image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must be (H, W, 3) or (H, W), got {image.shape}")
+    if image.dtype == np.uint8:
+        np.divide(image, 255.0, out=out)
+        return
+    np.copyto(out, image)
+    if out.size and (out.min() < -1e-9 or out.max() > 1.0 + 1e-9):
+        raise ValueError("float image values must lie in [0, 1]")
+
+
 @dataclass
 class PixelArray:
     """Analog pixel voltages for one exposure.
@@ -103,6 +124,7 @@ class PixelArray:
         images: "Sequence[np.ndarray]",
         vdd: float = 1.0,
         noise: NoiseModel | None = None,
+        out: np.ndarray | None = None,
     ) -> "list[PixelArray]":
         """Expose N same-size scenes in one vectorized pass.
 
@@ -115,18 +137,41 @@ class PixelArray:
             images: scene images, all of the same spatial size.
             vdd: full-scale voltage.
             noise: shared noise model (one sensor sees every frame).
+            out: optional preallocated ``(N, H, W, 3)`` float64 exposure
+                buffer (the stream runner's windowed mode reuses one across
+                flushes).  The scenes are written straight into it instead
+                of allocating a new stack, so the returned arrays are views
+                into ``out`` — the caller owns its lifetime and must not
+                overwrite it while any returned :class:`PixelArray` is in
+                use.  Values are bit-identical to the allocating path.
 
         Returns:
             One :class:`PixelArray` per input frame.
         """
-        scenes = [_scene_from_image(image) for image in images]
-        if not scenes:
+        if not len(images):
             return []
-        if len({s.shape for s in scenes}) > 1:
-            raise ValueError("all frames in a batch must share one resolution")
-
         noise = noise or NoiseModel.noiseless()
-        voltages = np.stack(scenes)
+        if out is None:
+            scenes = [_scene_from_image(image) for image in images]
+            if len({s.shape for s in scenes}) > 1:
+                raise ValueError("all frames in a batch must share one resolution")
+            voltages = np.stack(scenes)
+        else:
+            shapes = {image.shape[:2] for image in images}
+            if len(shapes) > 1:
+                raise ValueError("all frames in a batch must share one resolution")
+            (h, w) = next(iter(shapes))
+            if (
+                out.shape != (len(images), h, w, 3)
+                or out.dtype != np.float64
+            ):
+                raise ValueError(
+                    f"out: expected a ({len(images)}, {h}, {w}, 3) float64 "
+                    f"buffer, got shape {out.shape} dtype {out.dtype}"
+                )
+            for image, slot in zip(images, out):
+                _scene_into(image, slot)
+            voltages = out
         voltages *= vdd
         if not noise.is_noiseless():
             gain, offset = noise.fixed_pattern_maps(voltages.shape[1:])

@@ -268,6 +268,7 @@ class BatchSensorReadout:
         pooling: AnalogPoolingModel | None = None,
         frame_seeds: Sequence[int] | None = None,
         vdd: float = 1.0,
+        out: np.ndarray | None = None,
     ) -> "BatchSensorReadout":
         """Expose a clip in one pass and bind per-frame readout chains.
 
@@ -278,9 +279,14 @@ class BatchSensorReadout:
             pooling: behavioral pooling model (shared circuitry).
             frame_seeds: per-frame temporal seeds; defaults to ``range(N)``.
             vdd: full-scale voltage.
+            out: optional preallocated ``(N, H, W, 3)`` float64 exposure
+                buffer (see :meth:`PixelArray.from_image_batch`); the
+                windowed stream runner reuses one across flushes so a
+                steady-state stream exposes with zero per-window
+                allocation.
         """
         arrays = PixelArray.from_image_batch(
-            frames, vdd=vdd, noise=noise or NoiseModel.noiseless()
+            frames, vdd=vdd, noise=noise or NoiseModel.noiseless(), out=out
         )
         if frame_seeds is None:
             frame_seeds = range(len(arrays))
@@ -300,10 +306,19 @@ class BatchSensorReadout:
             for array, seed in zip(arrays, seeds)
         ]
         # from_image_batch exposes every frame as a view into one block;
-        # keep that block so read_compressed never has to re-stack.
-        stack = arrays[0].voltages.base if arrays else None
-        if stack is not None and stack.shape != (len(arrays), *arrays[0].voltages.shape):
-            stack = None
+        # keep that block so read_compressed never has to re-stack.  A
+        # caller-owned buffer may be larger than the batch (a partial
+        # window), so it is passed through directly instead of recovered
+        # via .base.
+        if out is not None:
+            stack = out if arrays else None
+        else:
+            stack = arrays[0].voltages.base if arrays else None
+            if stack is not None and stack.shape != (
+                len(arrays),
+                *arrays[0].voltages.shape,
+            ):
+                stack = None
         return cls(readouts=readouts, _stack=stack)
 
     def __len__(self) -> int:

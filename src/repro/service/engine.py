@@ -348,6 +348,8 @@ class Engine:
                 reuse=policy,
                 batch_size=scenario.batch_size,
                 keep_outcomes=scenario.keep_outcomes,
+                window=scenario.window,
+                label=scenario.label,
             )
         except ValueError as exc:
             raise SpecError(f"scenario {scenario.label!r}: {exc}") from exc

@@ -211,10 +211,13 @@ class ScenarioSpec:
             defaults to the frame index (the stream runner's contract).
         policy: reuse policy slot (``POLICIES`` registry); "none" runs
             stage 1 on every frame.
-        batch_size: stage-1 frames vectorized per NumPy pass (HiRISE only;
-            mutually exclusive with a reuse policy).
+        batch_size: legacy alias for ``window`` (HiRISE only; mutually
+            exclusive with a reuse policy and with ``window > 1``).
         keep_outcomes: retain full per-frame outcomes on the result
             (costs memory; needed for bit-identity audits).
+        window: stage-1 frames vectorized per NumPy pass (HiRISE only).
+            ``window=1`` is the per-frame reference loop; any window is
+            bit-identical to it.  Composes with a reuse policy.
     """
 
     name: str = ""
@@ -225,6 +228,7 @@ class ScenarioSpec:
     policy: ComponentRef = _component_field("none")
     batch_size: int = 1
     keep_outcomes: bool = False
+    window: int = 1
 
     def __post_init__(self) -> None:
         if self.n_frames < 1:
@@ -232,6 +236,13 @@ class ScenarioSpec:
         if self.batch_size < 1:
             raise SpecError(
                 f"scenario.batch_size: must be >= 1, got {self.batch_size}"
+            )
+        if self.window < 1:
+            raise SpecError(f"scenario.window: must be >= 1, got {self.window}")
+        if self.window > 1 and self.batch_size > 1:
+            raise SpecError(
+                "scenario.window: mutually exclusive with batch_size (its "
+                "legacy alias); set only window"
             )
         if self.frame_seeds is not None and len(self.frame_seeds) != self.n_frames:
             raise SpecError(
@@ -255,6 +266,7 @@ class ScenarioSpec:
             "policy": self.policy.to_dict(),
             "batch_size": self.batch_size,
             "keep_outcomes": self.keep_outcomes,
+            "window": self.window,
         }
         return data
 
@@ -270,7 +282,7 @@ class ScenarioSpec:
             kwargs["source"] = ComponentRef.from_dict(data["source"], "scenario.source")
         if "policy" in data:
             kwargs["policy"] = ComponentRef.from_dict(data["policy"], "scenario.policy")
-        for intfield in ("n_frames", "seed", "batch_size"):
+        for intfield in ("n_frames", "seed", "batch_size", "window"):
             if intfield in data:
                 kwargs[intfield] = _require(
                     data[intfield], f"scenario.{intfield}", int, "int"

@@ -1,32 +1,41 @@
 """The stream runner: HiRISE (or the baseline) over multi-frame video.
 
 :class:`StreamRunner` turns the single-exposure pipelines into a video
-engine with three execution modes, all sharing the phase methods of
+engine, all modes sharing the phase methods of
 :class:`~repro.core.HiRISEPipeline`:
 
-* **per-frame** — the reference: every frame pays the full two-stage flow;
-* **batched** (``batch_size > 1``) — stage-1 exposure + analog pooling for a
-  window of frames runs as one vectorized NumPy pass
-  (:class:`~repro.sensor.BatchSensorReadout`), bit-identical to the
-  per-frame loop but without its Python overhead;
+* **per-frame** (``window=1``) — the reference: every frame pays the full
+  two-stage flow, one Python iteration per frame;
+* **windowed** (``window > 1``) — stage-1 exposure + analog pooling + ADC
+  for a window of frames runs as one vectorized NumPy pass
+  (:class:`~repro.sensor.BatchSensorReadout`) into a preallocated exposure
+  buffer, bit-identical to the per-frame loop but without its Python
+  overhead;
 * **reuse** (``reuse=...``) — a :class:`~repro.stream.TemporalROIReuse`
   policy skips the pooled conversion *and* the stage-1 detector on frames
   where recent results proved stable, reading only predicted ROI windows.
+  Reuse composes with ``window > 1``: the sensor exposes the whole window
+  ahead of the processor, and each frame's pooled stage-1 result is used
+  only where the policy demands a fresh detection — reused frames read
+  their ROI crops straight from the window's exposure buffer.
 
 Every mode returns a :class:`~repro.stream.StreamOutcome` whose per-frame
 rows and cumulative totals make the modes directly comparable — the
-quantities ``benchmarks/bench_stream_throughput.py`` reports.
+quantities ``benchmarks/bench_stream_throughput.py`` reports.  Whatever
+the window size, per-frame results are **bit-identical** to the
+``window=1`` loop (the contract ``tests/property/test_stream_equivalence.py``
+states as a property).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..core.pipeline import ConventionalPipeline, HiRISEPipeline
+from ..core.pipeline import ConventionalPipeline, HiRISEPipeline, PipelineOutcome
 from ..core.profiling import profiled
 from ..sensor import BatchSensorReadout
 from ..transfer import TransferLedger
@@ -37,14 +46,19 @@ from .reuse import TemporalROIReuse
 _EXHAUSTED = object()
 
 
-def _seeded(frames: Iterable[np.ndarray], frame_seeds) -> Iterator[tuple[int, int, np.ndarray]]:
+def _seeded(
+    frames: Iterable[np.ndarray], frame_seeds, label: str = ""
+) -> Iterator[tuple[int, int, np.ndarray]]:
     """Yield ``(index, seed, frame)``; seeds default to the frame index.
 
     Never materializes ``frames`` — generators stream through untouched, so
     the runner's bounded-memory contract holds with explicit seeds too.  A
     length mismatch is raised eagerly when both sizes are known, otherwise
-    at the point one iterable runs dry.
+    at the point one iterable runs dry; ``label`` (the scenario/source
+    name) prefixes the error so a failing stream is identifiable in a
+    batch.
     """
+    where = f"stream {label!r}: " if label else ""
     if frame_seeds is None:
         for idx, frame in enumerate(frames):
             yield idx, idx, frame
@@ -52,7 +66,7 @@ def _seeded(frames: Iterable[np.ndarray], frame_seeds) -> Iterator[tuple[int, in
     if hasattr(frame_seeds, "__len__") and hasattr(frames, "__len__"):
         if len(frame_seeds) != len(frames):
             raise ValueError(
-                f"{len(frame_seeds)} frame seeds for {len(frames)} frames"
+                f"{where}{len(frame_seeds)} frame seeds for {len(frames)} frames"
             )
     # Explicit dual iteration rather than zip(strict=True): the strict-zip
     # mismatch error is only distinguishable from a ValueError raised
@@ -66,7 +80,9 @@ def _seeded(frames: Iterable[np.ndarray], frame_seeds) -> Iterator[tuple[int, in
         if frame is _EXHAUSTED and seed is _EXHAUSTED:
             return
         if frame is _EXHAUSTED or seed is _EXHAUSTED:
-            raise ValueError("frame seeds and frames have different lengths")
+            raise ValueError(
+                f"{where}frame seeds and frames have different lengths"
+            )
         yield idx, seed, frame
         idx += 1
 
@@ -79,9 +95,11 @@ class StreamRunner:
         pipeline: a :class:`~repro.core.HiRISEPipeline` (all modes) or a
             :class:`~repro.core.ConventionalPipeline` (per-frame only).
         reuse: optional temporal ROI reuse policy; when set, frames the
-            policy deems stable skip stage 1 entirely.  Mutually exclusive
-            with ``batch_size > 1`` (reuse decisions are sequential).
-        batch_size: stage-1 frames vectorized per NumPy pass (HiRISE only).
+            policy deems stable skip stage 1 entirely.  Composes with
+            ``window > 1`` (the window is exposed ahead speculatively;
+            pooled results are discarded on reused frames).
+        batch_size: legacy alias for ``window`` (HiRISE only, no reuse) —
+            kept for spec compatibility; new callers should set ``window``.
         keep_outcomes: retain every full :class:`PipelineOutcome` on the
             stream outcome (costs memory; off by default so long streams
             stay ledger-sized).
@@ -89,7 +107,12 @@ class StreamRunner:
             :class:`~repro.stream.FrameStats` the moment it is recorded —
             the hook the serving layer uses to stream ledgers to a client
             while the run is still in flight.  Called in stream order, on
-            the thread driving the run.
+            the thread driving the run — whatever the window size.
+        window: stage-1 frames vectorized per NumPy pass (HiRISE only).
+            ``window=1`` reproduces the per-frame loop exactly; any window
+            is bit-identical to it.
+        label: scenario/source name used in error messages ("" = unnamed);
+            the engine sets it to the scenario label.
     """
 
     pipeline: HiRISEPipeline | ConventionalPipeline
@@ -97,21 +120,41 @@ class StreamRunner:
     batch_size: int = 1
     keep_outcomes: bool = False
     on_stats: Callable[[FrameStats], None] | None = None
+    window: int = 1
+    label: str = ""
+    #: Reusable (window, H, W, 3) float64 exposure stack for windowed mode;
+    #: allocated on first flush, re-used for every later window (and run).
+    _expose_buf: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window: must be >= 1, got {self.window}")
         if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+            raise ValueError(f"batch_size: must be >= 1, got {self.batch_size}")
+        if self.batch_size > 1 and self.window > 1:
+            raise ValueError(
+                "window: mutually exclusive with batch_size (its legacy "
+                "alias); set only window"
+            )
         if self.reuse is not None and self.batch_size > 1:
             raise ValueError(
                 "temporal ROI reuse decides frame-by-frame; it cannot be "
-                "combined with batched stage-1 readout"
+                "combined with batched stage-1 readout (use window=, which "
+                "composes with reuse)"
             )
         if isinstance(self.pipeline, ConventionalPipeline):
-            if self.reuse is not None or self.batch_size > 1:
+            if self.reuse is not None or self.batch_size > 1 or self.window > 1:
                 raise ValueError(
-                    "reuse/batching are HiRISE features; the conventional "
+                    "reuse/windowing are HiRISE features; the conventional "
                     "baseline ships every frame in full"
                 )
+
+    @property
+    def effective_window(self) -> int:
+        """The stage-1 vectorization width actually driven (>= 1)."""
+        return self.window if self.window > 1 else self.batch_size
 
     def run(
         self,
@@ -123,13 +166,13 @@ class StreamRunner:
 
         Args:
             frames: the clip — any iterable of ``(H, W, 3)`` images (a list,
-                a generator, a dataset loader).  Batched mode materializes
-                at most ``batch_size`` frames at a time.
+                a generator, a dataset loader).  Windowed mode materializes
+                at most ``window`` frames at a time.
             frame_seeds: per-frame temporal-noise seeds (default: indices).
             on_frame: optional callback invoked with the frame index before
                 the frame's *processor-side* work — detector, stage 2 —
-                runs (stateful detectors, loggers).  In batched mode the
-                chunk's sensor-side exposure + pooling happens first, like
+                runs (stateful detectors, loggers).  In windowed mode the
+                window's sensor-side exposure + pooling happens first, like
                 a real sensor streaming exposures ahead of the processor;
                 per frame, the callback still precedes the detector call.
 
@@ -140,25 +183,58 @@ class StreamRunner:
         outcome = StreamOutcome(
             system="conventional" if conventional else "hirise"
         )
+        if self.reuse is not None:
+            # Each run() is an independent stream: stale tracks from a
+            # previous clip must never grant reuse on scenes that were
+            # never detected.
+            self.reuse.reset()
+        window = 1 if conventional else self.effective_window
         start = time.perf_counter()
-        if conventional:
-            self._run_per_frame(frames, frame_seeds, on_frame, outcome)
-        elif self.reuse is not None:
-            self._run_with_reuse(frames, frame_seeds, on_frame, outcome)
-        elif self.batch_size > 1:
-            self._run_batched(frames, frame_seeds, on_frame, outcome)
-        else:
-            self._run_per_frame(frames, frame_seeds, on_frame, outcome)
+        self._drive(frames, frame_seeds, on_frame, outcome, window)
         outcome.wall_time_s = time.perf_counter() - start
         return outcome
 
-    # -- modes -------------------------------------------------------------------
+    # -- the one dispatch loop ---------------------------------------------------
+
+    def _drive(
+        self,
+        frames,
+        frame_seeds,
+        on_frame,
+        stream: StreamOutcome,
+        window: int,
+    ) -> None:
+        """Drive every mode through one window-chunked loop.
+
+        ``window=1`` degenerates to the classic per-frame iteration (each
+        chunk is a single frame served by the scalar phase methods);
+        ``window>1`` flushes whole chunks through the vectorized sensor
+        path.  Mode differences live in :meth:`_serve_frame` /
+        :meth:`_serve_window`, not in the loop.
+        """
+        chunk: list[tuple[int, int, np.ndarray]] = []
+        for item in _seeded(frames, frame_seeds, self.label):
+            chunk.append(item)
+            if len(chunk) >= window:
+                self._flush(chunk, on_frame, stream, window)
+        self._flush(chunk, on_frame, stream, window)
+
+    def _flush(self, chunk, on_frame, stream: StreamOutcome, window: int) -> None:
+        if not chunk:
+            return
+        if window > 1:
+            self._serve_window(chunk, on_frame, stream)
+        else:
+            self._serve_frame(*chunk[0], on_frame, stream)
+        chunk.clear()
+
+    # -- recording ---------------------------------------------------------------
 
     def _record(
         self,
         stream: StreamOutcome,
         idx: int,
-        result,
+        result: PipelineOutcome,
         ran_stage1: bool,
         reused: bool = False,
         reason: str = "",
@@ -170,26 +246,16 @@ class StreamRunner:
         if self.on_stats is not None:
             self.on_stats(stats)
 
-    def _run_per_frame(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
-        # The conventional baseline has no pooled-readout stage to count.
-        ran_stage1 = isinstance(self.pipeline, HiRISEPipeline)
-        for idx, seed, frame in _seeded(frames, frame_seeds):
-            if on_frame is not None:
-                on_frame(idx)
-            result = self.pipeline.run(frame, frame_seed=seed)
-            self._record(stream, idx, result, ran_stage1=ran_stage1)
+    # -- scalar path (window == 1): exactly the classic per-frame loop ----------
 
-    def _run_with_reuse(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
-        policy = self.reuse
-        # Each run() is an independent stream: stale tracks from a previous
-        # clip must never grant reuse on scenes that were never detected.
-        policy.reset()
-        for idx, seed, frame in _seeded(frames, frame_seeds):
-            if on_frame is not None:
-                on_frame(idx)
-            decision = policy.propose()
+    def _serve_frame(self, idx, seed, frame, on_frame, stream: StreamOutcome) -> None:
+        if on_frame is not None:
+            on_frame(idx)
+        pipeline = self.pipeline
+        if self.reuse is not None:
+            decision = self.reuse.propose()
             if decision.reuse:
-                result = self.pipeline.run_stage2_only(
+                result = pipeline.run_stage2_only(
                     frame, decision.rois, frame_seed=seed
                 )
                 self._record(
@@ -197,49 +263,93 @@ class StreamRunner:
                     ran_stage1=False, reused=True, reason=decision.reason,
                 )
             else:
-                result = self.pipeline.run(frame, frame_seed=seed)
+                result = pipeline.run(frame, frame_seed=seed)
+                self.reuse.observe(result.rois)
+                self._record(
+                    stream, idx, result, ran_stage1=True, reason=decision.reason
+                )
+            return
+        result = pipeline.run(frame, frame_seed=seed)
+        # The conventional baseline has no pooled-readout stage to count.
+        self._record(
+            stream, idx, result, ran_stage1=isinstance(pipeline, HiRISEPipeline)
+        )
+
+    # -- windowed path (window > 1): vectorized stage-1 over the chunk ----------
+
+    def _exposure_buffer(self, chunk) -> np.ndarray | None:
+        """The preallocated slice the window's scenes are written into.
+
+        One ``(window, H, W, 3)`` float64 block lives for the runner's
+        lifetime; partial windows (the stream's tail) borrow a leading
+        slice.  A resolution change mid-stream simply reallocates.  Frames
+        that are not plain arrays (e.g. pre-exposed ``PixelArray`` inputs)
+        fall back to the allocating path.
+        """
+        first = chunk[0][2]
+        if not isinstance(first, np.ndarray) or first.ndim not in (2, 3):
+            return None
+        shape = (self.effective_window, first.shape[0], first.shape[1], 3)
+        if self._expose_buf is None or self._expose_buf.shape != shape:
+            self._expose_buf = np.empty(shape, dtype=np.float64)
+        return self._expose_buf[: len(chunk)]
+
+    def _serve_window(self, chunk, on_frame, stream: StreamOutcome) -> None:
+        pipeline = self.pipeline
+        cfg = pipeline.config
+        policy = self.reuse
+        # Sensor side first: expose/pool/ADC the whole window in one
+        # vectorized pass, writing scenes into the preallocated buffer.
+        # Under a reuse policy this is speculative — the policy's verdicts
+        # depend on detections inside this very window — but the per-frame
+        # random streams are keyed by (frame_seed, readout counter), so an
+        # unused pooled result perturbs nothing.  Same phase taxonomy as
+        # the per-frame path; windowed sensor work counts one profiler
+        # span per flush, not per frame.
+        with profiled(pipeline.profiler, "expose"):
+            batch = BatchSensorReadout.from_images(
+                [frame for _, _, frame in chunk],
+                adc_bits=cfg.adc_bits,
+                noise=pipeline.noise,
+                pooling=pipeline.pooling_model,
+                frame_seeds=[seed for _, seed, _ in chunk],
+                out=self._exposure_buffer(chunk),
+            )
+        with profiled(pipeline.profiler, "stage1"), profiled(
+            pipeline.profiler, "read"
+        ):
+            stage1_results = batch.read_compressed(
+                cfg.pool_k, grayscale=cfg.grayscale_stage1
+            )
+        for (idx, seed, _), readout, stage1 in zip(
+            chunk, batch.readouts, stage1_results
+        ):
+            if on_frame is not None:
+                on_frame(idx)
+            if policy is not None:
+                decision = policy.propose()
+                if decision.reuse:
+                    # The window's exposure is already in the buffer:
+                    # read the ROI crops straight from it through a fresh
+                    # readout chain (counter 0 — exactly the random
+                    # stream the scalar run_stage2_only path draws).
+                    result = pipeline.run_stage2_only(
+                        readout.array, decision.rois, frame_seed=seed
+                    )
+                    self._record(
+                        stream, idx, result,
+                        ran_stage1=False, reused=True, reason=decision.reason,
+                    )
+                    continue
+                ledger = TransferLedger(link=pipeline.link)
+                ledger.add_stage1_frame(stage1.data_bytes)
+                result = pipeline.complete_from_stage1(readout, stage1, ledger)
                 policy.observe(result.rois)
                 self._record(
                     stream, idx, result, ran_stage1=True, reason=decision.reason
                 )
-
-    def _run_batched(self, frames, frame_seeds, on_frame, stream: StreamOutcome) -> None:
-        pipeline = self.pipeline
-        cfg = pipeline.config
-        chunk: list[tuple[int, int, np.ndarray]] = []
-
-        def flush() -> None:
-            if not chunk:
-                return
-            # Same phase taxonomy as the per-frame path; chunked sensor
-            # work counts one profiler span per flush, not per frame.
-            with profiled(pipeline.profiler, "expose"):
-                batch = BatchSensorReadout.from_images(
-                    [frame for _, _, frame in chunk],
-                    adc_bits=cfg.adc_bits,
-                    noise=pipeline.noise,
-                    pooling=pipeline.pooling_model,
-                    frame_seeds=[seed for _, seed, _ in chunk],
-                )
-            with profiled(pipeline.profiler, "stage1"), profiled(
-                pipeline.profiler, "read"
-            ):
-                stage1_results = batch.read_compressed(
-                    cfg.pool_k, grayscale=cfg.grayscale_stage1
-                )
-            for (idx, _, _), readout, stage1 in zip(
-                chunk, batch.readouts, stage1_results
-            ):
-                if on_frame is not None:
-                    on_frame(idx)
-                ledger = TransferLedger(link=pipeline.link)
-                ledger.add_stage1_frame(stage1.data_bytes)
-                result = pipeline.complete_from_stage1(readout, stage1, ledger)
-                self._record(stream, idx, result, ran_stage1=True)
-            chunk.clear()
-
-        for idx, seed, frame in _seeded(frames, frame_seeds):
-            chunk.append((idx, seed, frame))
-            if len(chunk) >= self.batch_size:
-                flush()
-        flush()
+                continue
+            ledger = TransferLedger(link=pipeline.link)
+            ledger.add_stage1_frame(stage1.data_bytes)
+            result = pipeline.complete_from_stage1(readout, stage1, ledger)
+            self._record(stream, idx, result, ran_stage1=True)

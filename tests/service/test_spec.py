@@ -25,6 +25,7 @@ def rich_scenario() -> ScenarioSpec:
         policy=ComponentRef("temporal-reuse", {"max_reuse": 2}),
         batch_size=1,
         keep_outcomes=True,
+        window=4,
     )
 
 
@@ -119,6 +120,30 @@ class TestValidation:
             ScenarioSpec(n_frames=0)
         with pytest.raises(SpecError, match=r"scenario\.batch_size"):
             ScenarioSpec(batch_size=0)
+        with pytest.raises(SpecError, match=r"scenario\.window: must be >= 1"):
+            ScenarioSpec(window=0)
+        with pytest.raises(SpecError, match=r"scenario\.window.*legacy"):
+            ScenarioSpec(window=2, batch_size=2)
+
+    def test_window_reaches_the_runner(self):
+        """The spec knob lands on the engine's StreamRunner (and the
+        runner gets the scenario label for its error messages)."""
+        from repro.service import Engine
+
+        engine = Engine.from_spec({"system": {"system": "hirise"}})
+        scenario = ScenarioSpec(
+            n_frames=4,
+            window=4,
+            source=ComponentRef("pedestrian", {"resolution": [64, 48]}),
+        )
+        clip = engine._build_clip(scenario)
+        runner, _ = engine._build_runner(scenario, clip)
+        assert runner.window == 4
+        assert runner.effective_window == 4
+        assert runner.label == "pedestrian/none"
+        conventional = Engine.from_spec({"system": {"system": "conventional"}})
+        with pytest.raises(SpecError, match=r"'pedestrian/none'.*conventional"):
+            conventional._build_runner(scenario, clip)
 
     def test_component_ref_errors_named(self):
         with pytest.raises(SpecError, match=r"scenario\.source\.name.*missing"):

@@ -154,6 +154,36 @@ class TestRunnerModes:
         with pytest.raises(ValueError, match="conventional"):
             StreamRunner(ConventionalPipeline(), batch_size=2)
 
+    def test_window_validation(self):
+        pipeline = HiRISEPipeline()
+        # Per the spec convention, the error names the offending field.
+        with pytest.raises(ValueError, match=r"window: must be >= 1, got 0"):
+            StreamRunner(pipeline, window=0)
+        with pytest.raises(ValueError, match=r"window: must be >= 1, got -3"):
+            StreamRunner(pipeline, window=-3)
+        with pytest.raises(ValueError, match="legacy"):
+            StreamRunner(pipeline, window=2, batch_size=2)
+        with pytest.raises(ValueError, match="conventional"):
+            StreamRunner(ConventionalPipeline(), window=2)
+        # window composes with reuse (unlike the legacy batch_size knob).
+        runner = StreamRunner(pipeline, reuse=TemporalROIReuse(), window=4)
+        assert runner.effective_window == 4
+
+    def test_seed_mismatch_error_names_the_stream(self, clip):
+        runner, _ = hirise_runner(clip, label="pedestrian/none")
+        with pytest.raises(
+            ValueError, match=r"stream 'pedestrian/none': 2 frame seeds for 6"
+        ):
+            runner.run(clip.frames, frame_seeds=[1, 2])
+        with pytest.raises(
+            ValueError, match=r"stream 'pedestrian/none': frame seeds and"
+        ):
+            runner.run((f for f in clip.frames), frame_seeds=iter([1, 2]))
+        # Unnamed runners keep the bare message (no dangling quote noise).
+        unnamed, _ = hirise_runner(clip)
+        with pytest.raises(ValueError, match=r"^2 frame seeds for 6 frames$"):
+            unnamed.run(clip.frames, frame_seeds=[1, 2])
+
 
 class TestStreamOutcomeAggregation:
     def _stats(self, i, **kwargs):
